@@ -1,0 +1,144 @@
+// Command elba runs TBL experiment sets end to end on the simulated
+// testbed: generation, deployment, trial sweeps, monitoring, and result
+// storage, printing one line per trial and a summary table per
+// experiment.
+//
+// Usage:
+//
+//	elba [-timescale F] [-json results.json] [-csv results.csv] SPEC.tbl
+//	elba -suite reduced                 # run a built-in suite
+//	elba -scaleout -spec SPEC.tbl       # run the §V.A scale-out loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"elba/internal/core"
+	"elba/internal/experiment"
+	"elba/internal/report"
+	"elba/internal/spec"
+	"elba/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elba:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("elba", flag.ContinueOnError)
+	timescale := fs.Float64("timescale", 1.0, "shrink trial periods by this factor (1.0 = paper protocol)")
+	jsonOut := fs.String("json", "", "write the result store as JSON to this file")
+	csvOut := fs.String("csv", "", "write the result store as CSV to this file")
+	suite := fs.String("suite", "", "run a built-in suite: paper or reduced")
+	archive := fs.String("archive", "", "store raw per-host monitor output under this directory")
+	parallel := fs.Int("parallel", 1, "concurrent deployments per sweep")
+	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
+	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
+	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src string
+	switch {
+	case *suite == "paper":
+		src = core.PaperSuite()
+	case *suite == "reduced":
+		src = core.ReducedSuite()
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	default:
+		return fmt.Errorf("usage: elba [flags] SPEC.tbl (or -suite paper|reduced)")
+	}
+
+	c, err := core.New(core.Options{
+		TimeScale: *timescale,
+		Parallel:  *parallel,
+		OnTrial: func(r store.Result) {
+			status := "ok"
+			if !r.Completed {
+				status = "FAILED: " + r.FailReason
+			}
+			fmt.Printf("  %-40s rt=%7.1fms x=%7.1f/s app=%5.1f%% db=%5.1f%% %s\n",
+				r.Key.String(), r.AvgRTms, r.Throughput,
+				r.TierCPU["app"], r.TierCPU["db"], status)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	doc, err := spec.Parse(src)
+	if err != nil {
+		return err
+	}
+	if *archive != "" {
+		c.Runner().ArchiveDir = *archive
+	}
+
+	if *scaleout {
+		return runScaleout(c, doc, *sloMS, *maxUsers)
+	}
+
+	for _, e := range doc.Experiments {
+		fmt.Printf("running experiment %q: %d trials across %d configuration(s)\n",
+			e.Name, e.TrialCount(), len(e.AllTopologies()))
+		if err := c.RunExperiment(e); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println()
+	fmt.Print(report.Table3Scale(c.ScaleRows(core.FigureOf)))
+
+	if *jsonOut != "" {
+		data, err := c.Results().MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d results)\n", *jsonOut, c.Results().Len())
+	}
+	if *csvOut != "" {
+		if err := os.WriteFile(*csvOut, []byte(c.Results().CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+	return nil
+}
+
+func runScaleout(c *core.Characterizer, doc *spec.Document, sloMS float64, maxUsers int) error {
+	for _, e := range doc.Experiments {
+		fmt.Printf("scale-out loop for %q (SLO %.0f ms, up to %d users)\n", e.Name, sloMS, maxUsers)
+		steps, err := c.ScaleOut(e, experiment.ScaleOutOptions{
+			SLOms:    sloMS,
+			MaxUsers: maxUsers,
+		})
+		if err != nil {
+			return err
+		}
+		t := report.NewTable("", "Step", "Config", "Users", "Avg RT (ms)", "Bottleneck", "Action", "Note")
+		for i, s := range steps {
+			rt := fmt.Sprintf("%.0f", s.AvgRTms)
+			if !s.Completed {
+				rt = "failed"
+			}
+			t.AddRow(fmt.Sprint(i+1), s.Topology.String(), fmt.Sprint(s.Users),
+				rt, s.Verdict.Tier, string(s.Action), s.Note)
+		}
+		fmt.Print(t.String())
+	}
+	return nil
+}

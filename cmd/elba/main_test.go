@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elba/internal/spec"
+)
+
+func writeSpec(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "spec.tbl")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunExperimentAndExports(t *testing.T) {
+	spec := writeSpec(t, `experiment "cli" {
+		benchmark rubis; platform emulab; appserver jonas;
+		workload { users 60 to 120 step 60; writeratio 15; }
+	}`)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "r.json")
+	csvPath := filepath.Join(dir, "r.csv")
+	err := run([]string{"-timescale", "0.05", "-json", jsonPath, "-csv", csvPath, spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]interface{}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("exported JSON invalid: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("exported %d results, want 2", len(results))
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "experiment,topology") {
+		t.Fatalf("csv header wrong")
+	}
+}
+
+func TestRunScaleoutMode(t *testing.T) {
+	spec := writeSpec(t, `experiment "cli-so" {
+		benchmark rubis; platform emulab; appserver jonas;
+		workload { users 100; writeratio 15; }
+	}`)
+	err := run([]string{"-timescale", "0.05", "-scaleout", "-slo", "800", "-maxusers", "400", spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Errorf("no args should error")
+	}
+	if err := run([]string{"/nope.tbl"}); err == nil {
+		t.Errorf("missing spec should error")
+	}
+	bad := writeSpec(t, `experiment "x" {`)
+	if err := run([]string{bad}); err == nil {
+		t.Errorf("bad spec should error")
+	}
+}
+
+// TestShippedSpecsParse keeps the specs/ directory loadable by the CLI.
+func TestShippedSpecsParse(t *testing.T) {
+	files, err := filepath.Glob("../../specs/*.tbl")
+	if err != nil || len(files) < 4 {
+		t.Fatalf("specs missing: %v %v", files, err)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := spec.Parse(string(data)); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"elba/internal/core"
+	"elba/internal/mulini"
+	"elba/internal/report"
+	"elba/internal/spec"
+	"elba/internal/store"
+)
+
+// artifacts enumerates the paper's tables and figures with their data
+// dependencies and renderers. DESIGN.md's per-experiment index is the
+// authoritative mapping this file implements.
+func artifacts() []artifact {
+	return []artifact{
+		{
+			id: "table1", title: "Summary of software configurations",
+			render: func(ctx *context) (string, string, error) {
+				return report.Table1Software(ctx.c.Catalog()), "", nil
+			},
+		},
+		{
+			id: "table2", title: "Summary of hardware platforms",
+			render: func(ctx *context) (string, string, error) {
+				return report.Table2Hardware(ctx.c.Catalog()), "", nil
+			},
+		},
+		{
+			id: "table3", title: "Scale of experiments run",
+			needs: []string{"rubis-baseline-jonas", "rubis-baseline-weblogic", "rubis-scaleout-jonas", "rubbos-baseline"},
+			render: func(ctx *context) (string, string, error) {
+				return report.Table3Scale(ctx.c.ScaleRows(core.FigureOf)), "", nil
+			},
+		},
+		{
+			id: "table4", title: "Examples of generated scripts",
+			render: renderBundleTable(report.Table4Scripts),
+		},
+		{
+			id: "table5", title: "Examples of configuration files modified",
+			render: renderBundleTable(report.Table5Configs),
+		},
+		{
+			id: "fig1", title: "RUBiS on JOnAS response time",
+			needs: []string{"rubis-baseline-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				sf := ctx.c.Results().RTSurface("rubis-baseline-jonas", "1-1-1")
+				return report.SurfaceGrid("Figure 1. RUBiS on JOnAS response time", "ms", sf),
+					report.SurfaceCSV(sf), nil
+			},
+		},
+		{
+			id: "fig2", title: "RUBiS on JOnAS application server CPU utilization",
+			needs: []string{"rubis-baseline-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				st := ctx.c.Results()
+				sf := st.CPUSurface("rubis-baseline-jonas", "1-1-1", "app")
+				text := report.SurfaceGrid("Figure 2. RUBiS on JOnAS app-server CPU utilization", "%", sf)
+				// The paper: Figures 1 and 2 "show correlated peaks in
+				// response time and application server CPU consumption".
+				rt := st.RTSurface("rubis-baseline-jonas", "1-1-1")
+				if r, n := store.SurfaceCorrelation(rt, sf); n > 3 {
+					text += fmt.Sprintf("\ncorrelation with Figure 1's response-time surface: r = %.3f over %d cells\n", r, n)
+				}
+				return text, report.SurfaceCSV(sf), nil
+			},
+		},
+		{
+			id: "fig3", title: "RUBiS on WebLogic response time",
+			needs: []string{"rubis-baseline-weblogic"},
+			render: func(ctx *context) (string, string, error) {
+				sf := ctx.c.Results().RTSurface("rubis-baseline-weblogic", "1-1-1")
+				return report.SurfaceGrid("Figure 3. RUBiS on WebLogic response time", "ms", sf),
+					report.SurfaceCSV(sf), nil
+			},
+		},
+		{
+			id: "fig4", title: "RUBBoS baseline response time",
+			needs: []string{"rubbos-baseline"},
+			render: func(ctx *context) (string, string, error) {
+				st := ctx.c.Results()
+				series := []report.Series{
+					{Name: "100% read", Points: st.RTvsUsers("rubbos-baseline-readonly", "1-1-1", 0)},
+					{Name: "85% read / 15% write", Points: st.RTvsUsers("rubbos-baseline-mix", "1-1-1", 15)},
+				}
+				return report.SeriesChart("Figure 4. RUBBoS baseline response time", "users", "ms", series),
+					report.SeriesCSV("users", series), nil
+			},
+		},
+		{
+			id: "fig5", title: "RUBiS scale-out response time, 2-8 app servers",
+			needs: []string{"rubis-scaleout-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				series := scaleoutSeries(ctx, 2, 8)
+				return report.SeriesChart("Figure 5. RUBiS on JOnAS scale-out response time (2-8 app servers)",
+					"users", "ms", series), report.SeriesCSV("users", series), nil
+			},
+		},
+		{
+			id: "fig6", title: "RUBiS scale-out response time, 8-12 app servers",
+			needs: []string{"rubis-scaleout-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				series := scaleoutSeries(ctx, 8, 12)
+				return report.SeriesChart("Figure 6. RUBiS on JOnAS scale-out response time (8-12 app servers)",
+					"users", "ms", series), report.SeriesCSV("users", series), nil
+			},
+		},
+		{
+			id: "fig7", title: "Response-time difference between DB configurations",
+			needs: []string{"rubis-scaleout-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				st := ctx.c.Results()
+				get := func(topo string) []store.SeriesPoint {
+					return st.RTvsUsers("rubis-scaleout-jonas", topo, 15)
+				}
+				var series []report.Series
+				for _, pair := range [][3]string{
+					{"1-8-1", "1-8-2", "1DB minus 2DB (8 app)"},
+					{"1-8-2", "1-8-3", "2DB minus 3DB (8 app)"},
+					{"1-12-2", "1-12-3", "2DB minus 3DB (12 app)"},
+				} {
+					a, b := get(pair[0]), get(pair[1])
+					if len(a) > 0 && len(b) > 0 {
+						series = append(series, report.Difference(pair[2], a, b))
+					}
+				}
+				if len(series) == 0 {
+					return "(no DB-configuration pairs in the result set; run the full scale-out grid)", "", nil
+				}
+				return report.SeriesChart("Figure 7. RUBiS scale-out response-time difference", "users", "ms", series),
+					report.SeriesCSV("users", series), nil
+			},
+		},
+		{
+			id: "fig8", title: "DB servers CPU utilization",
+			needs: []string{"rubis-scaleout-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				st := ctx.c.Results()
+				var series []report.Series
+				for _, topo := range []string{"1-8-1", "1-12-2", "1-12-3"} {
+					pts := st.TierCPUVsUsers("rubis-scaleout-jonas", topo, "db", 15)
+					if len(pts) > 0 {
+						series = append(series, report.Series{Name: topo, Points: pts})
+					}
+				}
+				if len(series) == 0 {
+					return "(no DB utilization series in the result set; run the full scale-out grid)", "", nil
+				}
+				return report.SeriesChart("Figure 8. RUBiS scale-out DB CPU utilization", "users", "%", series),
+					report.SeriesCSV("users", series), nil
+			},
+		},
+		{
+			id: "table6", title: "Response-time improvement from 1-1-1 at 500 users",
+			needs: []string{"rubis-scaleout-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				st := ctx.c.Results()
+				const set = "rubis-scaleout-jonas"
+				baseKey := store.Key{Experiment: set, Topology: "1-1-1", Users: 500, WriteRatioPct: 15}
+				base, ok := st.Get(baseKey)
+				if !ok {
+					return "", "", fmt.Errorf("base trial %s missing", baseKey)
+				}
+				rts := map[string]float64{}
+				apps, dbs := map[int]bool{}, map[int]bool{}
+				for _, topo := range st.Topologies(set) {
+					t, err := spec.ParseTopology(topo)
+					if err != nil || t.App > 4 || t.DB > 3 {
+						continue
+					}
+					r, ok := st.Get(store.Key{Experiment: set, Topology: topo, Users: 500, WriteRatioPct: 15})
+					if !ok || r.AvgRTms <= 0 {
+						continue
+					}
+					rts[fmt.Sprintf("%d-%d", t.App, t.DB)] = r.AvgRTms
+					apps[t.App], dbs[t.DB] = true, true
+				}
+				return report.Table6Improvement(base.AvgRTms, sortedKeys(apps), sortedKeys(dbs), rts), "", nil
+			},
+		},
+		{
+			id: "mva", title: "Observed vs MVA-predicted (extension)",
+			needs: []string{"rubis-baseline-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				const set = "rubis-baseline-jonas"
+				doc, err := spec.Parse(core.RubisBaselineJOnASTBL)
+				if err != nil {
+					return "", "", err
+				}
+				e := doc.Experiments[0]
+				st := ctx.c.Results()
+				// Use the measured write ratio closest to the bidding
+				// mix's 10–15% (the reduced suite sweeps a coarser grid).
+				wr, ok := closestWriteRatio(st, set, 10)
+				if !ok {
+					return "(no completed baseline trials to compare)", "", nil
+				}
+				t := report.NewTable(
+					fmt.Sprintf("Observed vs MVA-predicted, RUBiS/JOnAS 1-1-1 at %g%% writes", wr),
+					"Users", "Obs RT (ms)", "MVA RT (ms)", "Obs X (req/s)", "MVA X (req/s)", "Obs app CPU %", "MVA app CPU %")
+				topo := spec.Topology{Web: 1, App: 1, DB: 1}
+				for _, r := range st.Filter(func(r store.Result) bool {
+					return r.Key.Experiment == set && r.Key.WriteRatioPct == wr && r.Completed
+				}) {
+					p, err := ctx.c.Predict(e, topo, wr, r.Key.Users)
+					if err != nil {
+						return "", "", err
+					}
+					t.AddRow(fmt.Sprint(r.Key.Users),
+						fmt.Sprintf("%.0f", r.AvgRTms), fmt.Sprintf("%.0f", p.ResponseTimeMS),
+						fmt.Sprintf("%.1f", r.Throughput), fmt.Sprintf("%.1f", p.Throughput),
+						fmt.Sprintf("%.0f", r.TierCPU["app"]), fmt.Sprintf("%.0f", p.TierUtilization["app"]))
+				}
+				return t.String(), "", nil
+			},
+		},
+		{
+			id: "table7", title: "Measured average throughput",
+			needs: []string{"rubis-scaleout-jonas"},
+			render: func(ctx *context) (string, string, error) {
+				st := ctx.c.Results()
+				const set = "rubis-scaleout-jonas"
+				var topos []string
+				for _, topo := range st.Topologies(set) {
+					t, err := spec.ParseTopology(topo)
+					if err != nil {
+						continue
+					}
+					if t.App >= 2 && t.App <= 8 && t.DB <= 2 {
+						topos = append(topos, topo)
+					}
+				}
+				loads := []int{300, 500, 700, 900, 1100, 1300}
+				return report.Table7Throughput(st, set, 15, topos, loads), "", nil
+			},
+		},
+	}
+}
+
+// renderBundleTable generates a RUBiS 1-2-2 bundle (the paper's Table 4–5
+// example configuration: two app-server and two database machines) and
+// renders it through fn.
+func renderBundleTable(fn func(*mulini.Bundle) string) func(ctx *context) (string, string, error) {
+	return func(ctx *context) (string, string, error) {
+		doc, err := spec.Parse(core.RubisBaselineJOnASTBL)
+		if err != nil {
+			return "", "", err
+		}
+		d, err := ctx.c.GenerateBundle(doc.Experiments[0], spec.Topology{Web: 1, App: 2, DB: 2})
+		if err != nil {
+			return "", "", err
+		}
+		return fn(d.Bundle), "", nil
+	}
+}
+
+// scaleoutSeries extracts Figure 5/6-style RT series for topologies with
+// app counts in [lo, hi], from whatever the scale-out run produced.
+func scaleoutSeries(ctx *context, lo, hi int) []report.Series {
+	st := ctx.c.Results()
+	var series []report.Series
+	for _, topo := range st.Topologies("rubis-scaleout-jonas") {
+		t, err := spec.ParseTopology(topo)
+		if err != nil || t.App < lo || t.App > hi {
+			continue
+		}
+		pts := st.RTvsUsers("rubis-scaleout-jonas", topo, 15)
+		if len(pts) > 0 {
+			series = append(series, report.Series{Name: topo, Points: pts})
+		}
+	}
+	return series
+}
+
+// closestWriteRatio finds the measured write ratio nearest to target for
+// an experiment set.
+func closestWriteRatio(st *store.Store, set string, target float64) (float64, bool) {
+	best, bestDist := 0.0, -1.0
+	for _, r := range st.All() {
+		if r.Key.Experiment != set || !r.Completed {
+			continue
+		}
+		d := r.Key.WriteRatioPct - target
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = r.Key.WriteRatioPct, d
+		}
+	}
+	return best, bestDist >= 0
+}
+
+// sortedKeys returns a set's members in increasing order.
+func sortedKeys(set map[int]bool) []int {
+	var out []int
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStaticTables(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "table1,table2,table4,table5", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"table1.txt", "table2.txt", "table4.txt", "table5.txt"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", f)
+		}
+	}
+	t2, _ := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if !strings.Contains(string(t2), "emulab") {
+		t.Fatalf("table2 content wrong")
+	}
+}
+
+func TestRunFigureWithData(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-reduced", "-timescale", "0.05", "-only", "fig1", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "write_ratio_pct") {
+		t.Fatalf("fig1 csv wrong: %q", string(csv)[:40])
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run([]string{"-only", "fig99"}); err == nil {
+		t.Fatalf("unknown artifact should error")
+	}
+}
+
+func TestSuiteTBLCoversAllSets(t *testing.T) {
+	for _, set := range []string{
+		"rubis-baseline-jonas", "rubis-baseline-weblogic",
+		"rubis-scaleout-jonas", "rubbos-baseline",
+	} {
+		for _, reduced := range []bool{false, true} {
+			src, ok := suiteTBL(set, reduced)
+			if !ok || src == "" {
+				t.Errorf("no TBL for %s (reduced=%v)", set, reduced)
+			}
+		}
+	}
+	if _, ok := suiteTBL("nope", false); ok {
+		t.Errorf("unknown set should report !ok")
+	}
+}
+
+func TestArtifactsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range artifacts() {
+		if seen[a.id] {
+			t.Errorf("duplicate artifact id %q", a.id)
+		}
+		seen[a.id] = true
+		if a.render == nil {
+			t.Errorf("artifact %q has no renderer", a.id)
+		}
+	}
+	// The paper set (7 tables + 8 figures) plus the MVA extension.
+	if len(seen) != 16 {
+		t.Errorf("artifacts = %d, want 16", len(seen))
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesFromFile(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "probe.tbl")
+	err := os.WriteFile(specPath, []byte(`experiment "probe" {
+		benchmark rubis; platform emulab; appserver jonas;
+		topology { web 1; app 2; db 2; }
+		workload { users 100; writeratio 15; }
+	}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "gen")
+	if err := run([]string{"-out", out, specPath}); err != nil {
+		t.Fatal(err)
+	}
+	runSh := filepath.Join(out, "probe", "1-2-2", "run.sh")
+	data, err := os.ReadFile(runSh)
+	if err != nil {
+		t.Fatalf("run.sh not written: %v", err)
+	}
+	if !strings.Contains(string(data), "elbactl allocate") {
+		t.Fatalf("run.sh content wrong")
+	}
+	if _, err := os.Stat(filepath.Join(out, "probe", "1-2-2", "mysqldb-raidb1-elba.xml")); err != nil {
+		t.Fatalf("C-JDBC config not written: %v", err)
+	}
+}
+
+func TestRunTopologyOverride(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "probe.tbl")
+	os.WriteFile(specPath, []byte(`experiment "probe" {
+		benchmark rubis; platform emulab;
+		topologies 1-1-1, 1-2-1, 1-3-1;
+		workload { users 100; writeratio 15; }
+	}`), 0o644)
+	out := filepath.Join(dir, "gen")
+	if err := run([]string{"-out", out, "-topology", "1-4-2", specPath}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(out, "probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "1-4-2" {
+		t.Fatalf("override produced %v", entries)
+	}
+}
+
+func TestRunSmartFrogBackend(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "probe.tbl")
+	os.WriteFile(specPath, []byte(`experiment "probe" {
+		benchmark rubis; platform emulab;
+		workload { users 100; writeratio 15; }
+	}`), 0o644)
+	out := filepath.Join(dir, "gen")
+	if err := run([]string{"-backend", "smartfrog", "-out", out, specPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "probe", "1-1-1", "probe.sf")); err != nil {
+		t.Fatalf(".sf description not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Errorf("no args should error")
+	}
+	if err := run([]string{"-backend", "yaml", "-suite", "reduced"}); err == nil {
+		t.Errorf("unknown backend should error")
+	}
+	if err := run([]string{"/nonexistent.tbl"}); err == nil {
+		t.Errorf("missing file should error")
+	}
+	if err := run([]string{"-topology", "bogus", "-suite", "reduced"}); err == nil {
+		t.Errorf("bad topology should error")
+	}
+}
+
+func TestRunBuiltInSuite(t *testing.T) {
+	if err := run([]string{"-suite", "reduced", "-topology", "1-1-1", "-out", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}

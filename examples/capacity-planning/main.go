@@ -1,0 +1,65 @@
+// Capacity planning: the paper's §V.C use of the characterization data —
+// "given a concrete set of service level objectives and workload levels,
+// one can use the numbers ... to choose the appropriate system resource
+// level". This example sweeps a small RUBiS scale-out grid, then answers
+// sizing questions from the observed data alone.
+//
+//	go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elba"
+)
+
+func main() {
+	c, err := elba.New(elba.Options{TimeScale: 0.15})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Observe a grid of candidate configurations under the workloads of
+	// interest (the characterization step; results are reusable).
+	err = c.RunTBL(`
+experiment "sizing" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topologies 1-1-1, 1-2-1, 1-3-1, 1-4-1, 1-4-2, 1-6-1, 1-6-2, 1-8-1, 1-8-2;
+	workload  { users 250 to 1750 step 500; writeratio 15; }
+	slo       { avg 1000ms; }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Now size deployments for three business scenarios.
+	fmt.Println("capacity planning from observed characterization data (SLO: mean RT <= 1s)")
+	for _, users := range []int{250, 750, 1250, 1750} {
+		topo, res, err := c.Capacity("sizing", users, 15, 1000)
+		if err != nil {
+			fmt.Printf("%5d users: no observed configuration meets the SLO\n", users)
+			continue
+		}
+		fmt.Printf("%5d users: smallest adequate config %s (%d machines, observed RT %.0f ms, app CPU %.0f%%, db CPU %.0f%%)\n",
+			users, topo, topo.Nodes(), res.AvgRTms, res.TierCPU["app"], res.TierCPU["db"])
+	}
+
+	// Over-provisioning check, Table 6 style: at 750 users, how much does
+	// each extra server actually buy?
+	fmt.Println("\nmarginal value of servers at 750 users (Table 6 methodology):")
+	base, ok := c.Results().Get(elba.Key{Experiment: "sizing", Topology: "1-2-1", Users: 750, WriteRatioPct: 15})
+	if !ok {
+		log.Fatal("missing base measurement")
+	}
+	for _, topo := range []string{"1-3-1", "1-4-1", "1-4-2", "1-6-1"} {
+		r, ok := c.Results().Get(elba.Key{Experiment: "sizing", Topology: topo, Users: 750, WriteRatioPct: 15})
+		if !ok {
+			continue
+		}
+		fmt.Printf("  1-2-1 -> %s: %+6.1f%% response-time improvement\n",
+			topo, elba.Improvement(base.AvgRTms, r.AvgRTms))
+	}
+}

@@ -1,0 +1,69 @@
+// Fault injection: observe how a deployed RUBiS configuration degrades
+// when an application server drops out of rotation mid-run, using the
+// TBL faults clause. The monitors show the survivor absorbing the load
+// and the error spike while the dead server's accept queue refuses
+// connections — the kind of behaviour the observation-based approach
+// surfaces and queueing models do not.
+//
+//	go run ./examples/fault-injection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elba"
+)
+
+func main() {
+	c, err := elba.New(elba.Options{TimeScale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two experiments on the same 1-2-1 deployment at 400 users: a
+	// healthy run, and one where JONAS1 fails for the middle 100 seconds
+	// of the (scaled) 300-second run period.
+	err = c.RunTBL(`
+experiment "healthy" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topology  { web 1; app 2; db 1; }
+	workload  { users 400; writeratio 15; }
+}
+experiment "degraded" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topology  { web 1; app 2; db 1; }
+	workload  { users 400; writeratio 15; }
+	faults    { JONAS1 at 100s for 100s; }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	healthy, _ := c.Results().Get(elba.Key{Experiment: "healthy", Topology: "1-2-1", Users: 400, WriteRatioPct: 15})
+	degraded, _ := c.Results().Get(elba.Key{Experiment: "degraded", Topology: "1-2-1", Users: 400, WriteRatioPct: 15})
+
+	fmt.Println("1-2-1 at 400 users, 15% writes:")
+	fmt.Printf("  healthy : RT %6.1f ms, errors %5d (%.1f%%), app CPU %.0f%%\n",
+		healthy.AvgRTms, healthy.Errors, healthy.ErrorRate()*100, healthy.TierCPU["app"])
+	fmt.Printf("  degraded: RT %6.1f ms, errors %5d (%.1f%%), app CPU %.0f%%\n",
+		degraded.AvgRTms, degraded.Errors, degraded.ErrorRate()*100, degraded.TierCPU["app"])
+
+	verdict := elba.DetectBottleneck(degraded)
+	fmt.Printf("\nbottleneck analysis of the degraded run: %s\n", verdict.Reason)
+
+	// The surviving server's load during the outage: per-host CPU from
+	// the monitors shows the asymmetry.
+	fmt.Println("\nper-host app CPU over the whole run:")
+	for _, role := range []string{"JONAS1", "JONAS2"} {
+		fmt.Printf("  %s: %.0f%%\n", role, degraded.HostCPU[role])
+	}
+
+	// Per-interaction view of the healthy run, slowest pages first.
+	fmt.Println()
+	fmt.Print(elba.RenderInteractionBreakdown(healthy))
+}

@@ -1,0 +1,63 @@
+// Quickstart: run a single RUBiS baseline sweep and print the observed
+// response-time curve, the bottleneck diagnosis, and the paper-style
+// hardware/software catalog tables.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elba"
+)
+
+func main() {
+	// TimeScale 0.25 runs the paper's 60s/300s/60s trial protocol at a
+	// quarter length; drop the option for full fidelity.
+	c, err := elba.New(elba.Options{TimeScale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The experiment is ordinary TBL text: RUBiS on JOnAS, deployed
+	// 1-1-1 on Emulab (database on the slow 600 MHz node, like the
+	// paper's §IV.A), swept from 50 to 250 users at the bidding mix's
+	// 15% write ratio.
+	err = c.RunTBL(`
+experiment "quickstart" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 50 to 250 step 50; writeratio 15; }
+	slo       { avg 1000ms; }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Extract the response-time curve the paper would plot.
+	points := c.Results().RTvsUsers("quickstart", "1-1-1", 15)
+	fmt.Print(elba.RenderSeries("RUBiS 1-1-1 baseline response time", "users", "ms",
+		[]elba.Series{{Name: "1-1-1", Points: points}}))
+
+	// Ask where the system saturates and what the bottleneck is.
+	if users, ok := elba.SaturationUsers(points, 3); ok {
+		fmt.Printf("\nsaturation observed at ≈%.0f users\n", users)
+	} else {
+		fmt.Println("\nno saturation inside the swept range")
+	}
+	last, _ := c.Results().Get(elba.Key{
+		Experiment: "quickstart", Topology: "1-1-1", Users: 250, WriteRatioPct: 15,
+	})
+	verdict := elba.DetectBottleneck(last)
+	fmt.Printf("bottleneck at 250 users: %s\n\n", verdict.Reason)
+
+	// The catalog behind it all (paper Tables 1 and 2).
+	cat, err := elba.LoadCatalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(elba.RenderTable2(cat))
+}

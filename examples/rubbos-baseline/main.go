@@ -1,0 +1,67 @@
+// RUBBoS baseline: reproduce the paper's Figure 4 comparison of the
+// read-only and 85/15 read/write mixes, showing that — unlike RUBiS — the
+// database tier is the bottleneck, and that the read-only mix saturates
+// at a *lower* workload because its story and comment pages are heavier
+// on the database.
+//
+//	go run ./examples/rubbos-baseline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elba"
+)
+
+func main() {
+	c, err := elba.New(elba.Options{TimeScale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = c.RunTBL(`
+experiment "rubbos-readonly" {
+	benchmark rubbos;
+	platform  emulab;
+	mix       read-only;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 500 to 5000 step 500; }
+}
+experiment "rubbos-mix" {
+	benchmark rubbos;
+	platform  emulab;
+	mix       submission;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 500 to 5000 step 500; writeratio 15; }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ro := c.Results().RTvsUsers("rubbos-readonly", "1-1-1", 0)
+	mix := c.Results().RTvsUsers("rubbos-mix", "1-1-1", 15)
+	fmt.Print(elba.RenderSeries("Figure 4. RUBBoS baseline response time", "users", "ms",
+		[]elba.Series{
+			{Name: "100% read", Points: ro},
+			{Name: "85% read / 15% write", Points: mix},
+		}))
+
+	roSat, _ := elba.SaturationUsers(ro, 3)
+	mixSat, _ := elba.SaturationUsers(mix, 3)
+	fmt.Printf("\nread-only mix saturates at ≈%.0f users; 85/15 mix at ≈%.0f users\n", roSat, mixSat)
+	if roSat > 0 && (mixSat == 0 || roSat < mixSat) {
+		fmt.Println("=> read-only reaches its bottleneck at a much lower workload (paper Figure 4)")
+	}
+
+	// Confirm the bottleneck tier from the monitors: the database.
+	heavy, ok := c.Results().Get(elba.Key{
+		Experiment: "rubbos-readonly", Topology: "1-1-1", Users: 3000,
+	})
+	if ok {
+		v := elba.DetectBottleneck(heavy)
+		fmt.Printf("at 3000 read-only users: %s\n", v.Reason)
+		fmt.Printf("tier CPU%%: web=%.0f app=%.0f db=%.0f (database-bound, paper §IV.C)\n",
+			heavy.TierCPU["web"], heavy.TierCPU["app"], heavy.TierCPU["db"])
+	}
+}

@@ -1,0 +1,73 @@
+// RUBiS scale-out: reproduce the paper's §V observation-driven loop. The
+// controller raises the workload until the SLO breaks, diagnoses the
+// bottleneck tier from observed CPU utilization and error character, adds
+// one server to that tier (regenerating and redeploying through Mulini),
+// and repeats — printing the same storyline the paper narrates: app
+// servers first, the database only once one DB saturates near 1700 users.
+//
+//	go run ./examples/rubis-scaleout
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"elba"
+)
+
+func main() {
+	c, err := elba.New(elba.Options{TimeScale: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	doc, err := elba.ParseTBL(`
+experiment "scaleout-demo" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	workload  { users 100; writeratio 15; }
+	slo       { avg 1000ms; }
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	steps, err := c.ScaleOut(doc.Experiments[0], elba.ScaleOutOptions{
+		LoadStep: 250,
+		MaxUsers: 2100,
+		MaxApp:   10,
+		MaxDB:    3,
+		SLOms:    1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("observation-driven scale-out (paper §V.A strategy):")
+	for i, s := range steps {
+		status := fmt.Sprintf("%.0f ms", s.AvgRTms)
+		if !s.Completed {
+			status = "trial failed"
+		}
+		fmt.Printf("%2d. %-7s @%5d users: %-12s bottleneck=%-8s -> %-16s %s\n",
+			i+1, s.Topology, s.Users, status, s.Verdict.Tier, s.Action, s.Note)
+	}
+
+	// Summarize what the loop learned, in capacity-planning terms.
+	final := steps[len(steps)-1]
+	fmt.Printf("\nfinal configuration %s sustains about %d users within the SLO\n",
+		final.Topology, final.Users)
+
+	appAdds, dbAdds := 0, 0
+	for _, s := range steps {
+		switch s.Action {
+		case elba.ActionAddAppServer:
+			appAdds++
+		case elba.ActionAddDBServer:
+			dbAdds++
+		}
+	}
+	fmt.Printf("servers added along the way: %d application, %d database\n", appAdds, dbAdds)
+	fmt.Println("(RUBiS stresses the application tier, so app servers dominate — paper §IV.A)")
+}

@@ -1,0 +1,3 @@
+module elba
+
+go 1.22

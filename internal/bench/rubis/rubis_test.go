@@ -1,0 +1,177 @@
+package rubis
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewValidatesWriteRatio(t *testing.T) {
+	for _, w := range []float64{-0.1, 0.91, 1.5} {
+		if _, err := New(JOnAS, w); err == nil {
+			t.Errorf("write ratio %g should be rejected", w)
+		}
+	}
+	for _, w := range []float64{0, 0.15, 0.9} {
+		if _, err := New(JOnAS, w); err != nil {
+			t.Errorf("write ratio %g rejected: %v", w, err)
+		}
+	}
+}
+
+func TestInteractionCount(t *testing.T) {
+	p, err := Bidding(JOnAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Interactions()); got != NumInteractions {
+		t.Fatalf("interactions = %d, want %d (paper §III.B)", got, NumInteractions)
+	}
+	writes := 0
+	for _, it := range p.Interactions() {
+		if it.Write {
+			writes++
+		}
+	}
+	if writes != 5 {
+		t.Fatalf("write interactions = %d, want 5", writes)
+	}
+}
+
+func TestWriteFractionMatchesRatio(t *testing.T) {
+	for _, w := range []float64{0, 0.15, 0.3, 0.6, 0.9} {
+		p, err := New(JOnAS, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Matrix().WriteFraction(); math.Abs(got-w) > 1e-9 {
+			t.Errorf("w=%g: stationary write fraction %g", w, got)
+		}
+	}
+}
+
+// TestCalibratedDemands checks the design's headline calibration: mean app
+// demand at w=0.15 must give ≈250 users per JOnAS app server with the 7 s
+// think time (N* ≈ (Z+R)/D with R ≈ 0.5 s near saturation).
+func TestCalibratedDemands(t *testing.T) {
+	p, err := Bidding(JOnAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, app, _ := p.MeanDemands()
+	want := 0.85*jonasReadApp + 0.15*jonasWriteApp
+	if math.Abs(app-want)/want > 1e-6 {
+		t.Fatalf("mean app demand = %.6f, want %.6f", app, want)
+	}
+	users := (ThinkTime + 0.5) / app
+	if users < 230 || users > 280 {
+		t.Fatalf("implied app-server capacity %.0f users, want ≈250", users)
+	}
+}
+
+func TestWriteRatioLowersAppDemand(t *testing.T) {
+	// Paper §IV.A: high write ratio → little app-tier work → short RT.
+	low, err := New(JOnAS, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := New(JOnAS, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, appLow, _ := low.MeanDemands()
+	_, appHigh, _ := high.MeanDemands()
+	if appHigh >= appLow {
+		t.Fatalf("app demand should fall with write ratio: w=0 %.4f vs w=0.9 %.4f", appLow, appHigh)
+	}
+}
+
+func TestWebLogicSaturationDoubling(t *testing.T) {
+	j, err := Bidding(JOnAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Bidding(WebLogic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, appJ, _ := j.MeanDemands()
+	_, appW, _ := w.MeanDemands()
+	// JOnAS ran on single-CPU Emulab nodes, WebLogic on dual-CPU Warp
+	// blades (paper Table 2). Saturation population scales with
+	// cores/demand, and the paper reports "about twice as many users at
+	// saturation" for WebLogic (§IV.B).
+	jonasUsers := 1.0 / appJ * (ThinkTime + 0.5)
+	weblogicUsers := 2.0 * 1.02 / appW * (ThinkTime + 0.5)
+	ratio := weblogicUsers / jonasUsers
+	if ratio < 1.8 || ratio > 2.5 {
+		t.Fatalf("WebLogic/JOnAS saturation ratio = %.2f, want ≈2 (paper §IV.B)", ratio)
+	}
+	// DB demands must be identical: the DB tier does not change.
+	_, _, dbJ := j.MeanDemands()
+	_, _, dbW := w.MeanDemands()
+	if math.Abs(dbJ-dbW)/dbJ > 1e-9 {
+		t.Fatalf("DB demand differs across app servers: %g vs %g", dbJ, dbW)
+	}
+}
+
+func TestSessionReachesAllInteractions(t *testing.T) {
+	p, err := Bidding(JOnAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	sess := p.NewSession(rng)
+	seen := make(map[string]bool)
+	for i := 0; i < 200000; i++ {
+		seen[sess.Next(rng).Name] = true
+	}
+	if len(seen) != NumInteractions {
+		missing := []string{}
+		for _, it := range p.Interactions() {
+			if !seen[it.Name] {
+				missing = append(missing, it.Name)
+			}
+		}
+		t.Fatalf("chain visited %d/%d interactions; missing %v", len(seen), NumInteractions, missing)
+	}
+}
+
+func TestBrowseOnlyHasNoWrites(t *testing.T) {
+	p, err := BrowseOnly(WebLogic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	sess := p.NewSession(rng)
+	for i := 0; i < 20000; i++ {
+		if it := sess.Next(rng); it.Write {
+			t.Fatalf("browse-only mix issued write %s", it.Name)
+		}
+	}
+}
+
+func TestAppServerString(t *testing.T) {
+	if JOnAS.String() != "jonas" || WebLogic.String() != "weblogic" {
+		t.Fatalf("server names wrong")
+	}
+	if AppServer(9).String() == "" {
+		t.Fatalf("unknown server should render")
+	}
+	if _, err := New(AppServer(9), 0.15); err == nil {
+		t.Fatalf("unknown server should be rejected")
+	}
+}
+
+func TestProfileNameEncodesVariant(t *testing.T) {
+	p, err := New(WebLogic, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "rubis/weblogic/w=30%" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if p.ThinkTime() != ThinkTime {
+		t.Fatalf("think time = %g", p.ThinkTime())
+	}
+}

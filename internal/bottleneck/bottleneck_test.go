@@ -1,0 +1,169 @@
+package bottleneck
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"elba/internal/store"
+)
+
+func result(completed bool, errRate float64, cpu map[string]float64) store.Result {
+	reqs := int64(1000)
+	errs := int64(float64(reqs) * errRate / (1 - errRate))
+	return store.Result{
+		Completed: completed,
+		Requests:  reqs,
+		Errors:    errs,
+		TierCPU:   cpu,
+	}
+}
+
+func TestDetectAppSaturation(t *testing.T) {
+	v := Detect(result(true, 0, map[string]float64{"web": 10, "app": 96, "db": 40}), DefaultThresholds)
+	if v.Tier != "app" || !v.Saturated {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestDetectNearSaturation(t *testing.T) {
+	v := Detect(result(true, 0, map[string]float64{"web": 10, "app": 75, "db": 40}), DefaultThresholds)
+	if v.Tier != "app" || v.Saturated {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestDetectUnsaturated(t *testing.T) {
+	v := Detect(result(true, 0, map[string]float64{"web": 10, "app": 30, "db": 20}), DefaultThresholds)
+	if v.Tier != "none" {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestDetectSessionExhaustion(t *testing.T) {
+	v := Detect(result(false, 0.1, map[string]float64{"app": 50}), DefaultThresholds)
+	if v.Tier != "sessions" || !v.Saturated {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestDetectDBSaturation(t *testing.T) {
+	v := Detect(result(true, 0, map[string]float64{"web": 5, "app": 60, "db": 92}), DefaultThresholds)
+	if v.Tier != "db" || !v.Saturated {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestDetectDeterministicTieBreak(t *testing.T) {
+	a := Detect(result(true, 0, map[string]float64{"app": 90, "db": 90}), DefaultThresholds)
+	b := Detect(result(true, 0, map[string]float64{"db": 90, "app": 90}), DefaultThresholds)
+	if a.Tier != b.Tier || a.Tier != "app" {
+		t.Fatalf("tie break not deterministic: %q vs %q", a.Tier, b.Tier)
+	}
+}
+
+func TestDetectEmptyAndDefaults(t *testing.T) {
+	v := Detect(result(true, 0, nil), Thresholds{})
+	if v.Tier != "none" {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func pts(xy ...float64) []store.SeriesPoint {
+	var out []store.SeriesPoint
+	for i := 0; i+1 < len(xy); i += 2 {
+		out = append(out, store.SeriesPoint{X: xy[i], Y: xy[i+1], OK: true})
+	}
+	return out
+}
+
+func TestKnee(t *testing.T) {
+	series := pts(100, 50, 200, 60, 300, 90, 400, 800, 500, 2000)
+	x, ok := Knee(series, 500)
+	if !ok || x != 400 {
+		t.Fatalf("knee = %g, %v", x, ok)
+	}
+	if _, ok := Knee(series, 5000); ok {
+		t.Fatalf("compliant series should have no knee")
+	}
+}
+
+func TestKneeFailedTrialCounts(t *testing.T) {
+	series := pts(100, 50, 200, 60)
+	series = append(series, store.SeriesPoint{X: 300, OK: false})
+	x, ok := Knee(series, 1e9)
+	if !ok || x != 300 {
+		t.Fatalf("failed trial should be the knee: %g, %v", x, ok)
+	}
+}
+
+func TestKneeUnsorted(t *testing.T) {
+	series := pts(400, 800, 100, 50, 300, 90, 200, 60)
+	x, ok := Knee(series, 500)
+	if !ok || x != 400 {
+		t.Fatalf("knee on unsorted input = %g, %v", x, ok)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	// Table 6's headline: 1-1-1 → 1-2-1 yields ~84% improvement.
+	if got := Improvement(1000, 157); math.Abs(got-84.3) > 0.1 {
+		t.Fatalf("improvement = %g", got)
+	}
+	if Improvement(0, 100) != 0 {
+		t.Fatalf("zero base should yield 0")
+	}
+	if got := Improvement(100, 130); got >= 0 {
+		t.Fatalf("regression should be negative: %g", got)
+	}
+}
+
+func TestSaturationUsers(t *testing.T) {
+	series := pts(100, 40, 200, 45, 300, 50, 400, 200, 500, 900)
+	x, ok := SaturationUsers(series, 3)
+	if !ok || x != 400 {
+		t.Fatalf("saturation = %g, %v", x, ok)
+	}
+	if _, ok := SaturationUsers(nil, 3); ok {
+		t.Fatalf("empty series should report not found")
+	}
+	// default multiple
+	if x, ok := SaturationUsers(series, 0); !ok || x != 400 {
+		t.Fatalf("default multiple wrong: %g %v", x, ok)
+	}
+}
+
+func TestDetectPartialOutage(t *testing.T) {
+	r := result(false, 0.15, map[string]float64{"app": 55})
+	r.HostCPU = map[string]float64{"JONAS1": 20, "JONAS2": 85, "MYSQL1": 30, "APACHE1": 10}
+	v := Detect(r, DefaultThresholds)
+	if v.Tier != "outage" {
+		t.Fatalf("verdict = %+v, want partial-outage diagnosis", v)
+	}
+	if !strings.Contains(v.Reason, "JONAS") {
+		t.Fatalf("reason should name the asymmetric group: %q", v.Reason)
+	}
+}
+
+func TestDetectSymmetricFailureStaysSessions(t *testing.T) {
+	r := result(false, 0.15, map[string]float64{"app": 85})
+	r.HostCPU = map[string]float64{"JONAS1": 84, "JONAS2": 86}
+	v := Detect(r, DefaultThresholds)
+	if v.Tier != "sessions" {
+		t.Fatalf("symmetric failure should diagnose sessions: %+v", v)
+	}
+}
+
+func TestUtilizationImbalanceEdges(t *testing.T) {
+	// Single-member groups can't be imbalanced.
+	if _, _, _, ok := utilizationImbalance(map[string]float64{"JONAS1": 90, "MYSQL1": 5}); ok {
+		t.Fatalf("singleton groups should not report imbalance")
+	}
+	// Low absolute load is not an outage signal.
+	if _, _, _, ok := utilizationImbalance(map[string]float64{"JONAS1": 2, "JONAS2": 9}); ok {
+		t.Fatalf("idle groups should not report imbalance")
+	}
+	if _, _, _, ok := utilizationImbalance(nil); ok {
+		t.Fatalf("empty map should not report imbalance")
+	}
+}

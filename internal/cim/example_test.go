@@ -1,0 +1,45 @@
+package cim_test
+
+import (
+	"fmt"
+
+	"elba/internal/cim"
+)
+
+// The MOF parser accepts CIM class and instance declarations, the format
+// the paper feeds to Mulini (§II).
+func ExampleParse() {
+	classes, instances, err := cim.Parse(`
+class Elba_Node {
+	string Name;
+	uint32 CPUMHz;
+	uint32 Cores = 1;
+};
+instance of Elba_Node { Name = "n1"; CPUMHz = 3000; };
+`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("classes:", len(classes), "instances:", len(instances))
+	fmt.Println(instances[0].GetString("Name"), instances[0].GetInt("CPUMHz"))
+	// Output:
+	// classes: 1 instances: 1
+	// n1 3000
+}
+
+// The built-in catalog carries the paper's Table 2 platforms.
+func ExampleLoadCatalog() {
+	cat, err := cim.LoadCatalog()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	emulab, _ := cat.PlatformByName("emulab")
+	for _, pool := range emulab.Pools {
+		fmt.Printf("%s: %d MHz\n", pool.NodeType, pool.CPUMHz)
+	}
+	// Output:
+	// low-end: 600 MHz
+	// high-end: 3000 MHz
+}

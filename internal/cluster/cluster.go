@@ -1,0 +1,293 @@
+// Package cluster provides the simulated testbed that stands in for the
+// paper's physical Warp, Rohan, and Emulab clusters. A Cluster
+// materializes nodes from a CIM platform description; each node tracks
+// the software lifecycle state (installed packages, written configuration
+// files, running services) that the deployment engine mutates while
+// executing Mulini-generated scripts. The simulation kernel consumes the
+// node's CPU characteristics through Speed and Cores.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elba/internal/cim"
+)
+
+// ReferenceMHz is the CPU frequency at which benchmark service demands
+// are specified.
+const ReferenceMHz = 3000
+
+// ServiceState tracks a deployed service's lifecycle on a node.
+type ServiceState int
+
+// Service lifecycle states, in order.
+const (
+	Absent ServiceState = iota
+	Installed
+	Configured
+	Running
+	Stopped
+)
+
+// String names the state.
+func (s ServiceState) String() string {
+	switch s {
+	case Absent:
+		return "absent"
+	case Installed:
+		return "installed"
+	case Configured:
+		return "configured"
+	case Running:
+		return "running"
+	case Stopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Node is one simulated machine.
+type Node struct {
+	name string
+	pool cim.NodePool
+
+	allocated bool
+	role      string
+
+	services map[string]ServiceState
+	versions map[string]string
+	files    map[string]string
+}
+
+// Name reports the node's hostname.
+func (n *Node) Name() string { return n.name }
+
+// Pool reports the node pool (hardware characteristics) the node belongs
+// to.
+func (n *Node) Pool() cim.NodePool { return n.pool }
+
+// Speed reports the node's CPU frequency relative to the reference.
+func (n *Node) Speed() float64 { return float64(n.pool.CPUMHz) / ReferenceMHz }
+
+// Cores reports the number of CPUs.
+func (n *Node) Cores() int {
+	if n.pool.CPUCount < 1 {
+		return 1
+	}
+	return n.pool.CPUCount
+}
+
+// Role reports the node's assigned role (e.g. "APP2"), set at allocation.
+func (n *Node) Role() string { return n.role }
+
+// Allocated reports whether the node is held by an experiment.
+func (n *Node) Allocated() bool { return n.allocated }
+
+// State reports a service's lifecycle state.
+func (n *Node) State(service string) ServiceState { return n.services[service] }
+
+// Version reports the installed version of a package, or "".
+func (n *Node) Version(pkg string) string { return n.versions[pkg] }
+
+// Install places a software package on the node.
+func (n *Node) Install(pkg, version string) error {
+	if n.services[pkg] != Absent {
+		return fmt.Errorf("cluster: %s: %s already installed", n.name, pkg)
+	}
+	n.services[pkg] = Installed
+	n.versions[pkg] = version
+	return nil
+}
+
+// Configure marks a package configured. Configuration may be repeated
+// (scripts reconfigure between trials) but requires prior installation.
+func (n *Node) Configure(pkg string) error {
+	switch n.services[pkg] {
+	case Absent:
+		return fmt.Errorf("cluster: %s: cannot configure %s before installing it", n.name, pkg)
+	case Running:
+		return fmt.Errorf("cluster: %s: cannot configure %s while it is running", n.name, pkg)
+	}
+	n.services[pkg] = Configured
+	return nil
+}
+
+// Start ignites a configured service.
+func (n *Node) Start(pkg string) error {
+	switch n.services[pkg] {
+	case Configured, Stopped:
+		n.services[pkg] = Running
+		return nil
+	case Running:
+		return fmt.Errorf("cluster: %s: %s is already running", n.name, pkg)
+	default:
+		return fmt.Errorf("cluster: %s: cannot start %s from state %s", n.name, pkg, n.services[pkg])
+	}
+}
+
+// Stop halts a running service.
+func (n *Node) Stop(pkg string) error {
+	if n.services[pkg] != Running {
+		return fmt.Errorf("cluster: %s: cannot stop %s from state %s", n.name, pkg, n.services[pkg])
+	}
+	n.services[pkg] = Stopped
+	return nil
+}
+
+// Running lists services currently running, sorted.
+func (n *Node) Running() []string {
+	var out []string
+	for svc, st := range n.services {
+		if st == Running {
+			out = append(out, svc)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteFile records a configuration file on the node (the simulated
+// equivalent of Mulini pushing workers2.properties and friends).
+func (n *Node) WriteFile(path, content string) {
+	n.files[path] = content
+}
+
+// ReadFile returns a configuration file's content.
+func (n *Node) ReadFile(path string) (string, bool) {
+	c, ok := n.files[path]
+	return c, ok
+}
+
+// Files lists written file paths, sorted.
+func (n *Node) Files() []string {
+	out := make([]string, 0, len(n.files))
+	for p := range n.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reset returns the node to pristine state on release.
+func (n *Node) reset() {
+	n.allocated = false
+	n.role = ""
+	n.services = map[string]ServiceState{}
+	n.versions = map[string]string{}
+	n.files = map[string]string{}
+}
+
+// Cluster is a set of nodes materialized from a CIM platform.
+type Cluster struct {
+	platform cim.Platform
+	nodes    []*Node
+	byName   map[string]*Node
+}
+
+// New materializes a cluster from a platform description: one node per
+// unit of each pool's NodeCount, named pool-001, pool-002, ...
+func New(platform cim.Platform) (*Cluster, error) {
+	if len(platform.Pools) == 0 {
+		return nil, fmt.Errorf("cluster: platform %q has no node pools", platform.Name)
+	}
+	c := &Cluster{platform: platform, byName: map[string]*Node{}}
+	for _, pool := range platform.Pools {
+		for i := 1; i <= pool.NodeCount; i++ {
+			n := &Node{
+				name:     fmt.Sprintf("%s-%03d", pool.Name, i),
+				pool:     pool,
+				services: map[string]ServiceState{},
+				versions: map[string]string{},
+				files:    map[string]string{},
+			}
+			c.nodes = append(c.nodes, n)
+			c.byName[n.name] = n
+		}
+	}
+	return c, nil
+}
+
+// Platform reports the cluster's platform description.
+func (c *Cluster) Platform() cim.Platform { return c.platform }
+
+// Size reports the total number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Free reports the number of unallocated nodes, optionally filtered by
+// node type ("" = any).
+func (c *Cluster) Free(nodeType string) int {
+	n := 0
+	for _, node := range c.nodes {
+		if !node.allocated && (nodeType == "" || node.pool.NodeType == nodeType) {
+			n++
+		}
+	}
+	return n
+}
+
+// Node finds a node by hostname.
+func (c *Cluster) Node(name string) (*Node, bool) {
+	n, ok := c.byName[name]
+	return n, ok
+}
+
+// Allocate reserves the first free node of the given type ("" = any) and
+// assigns it a role. Allocation order is deterministic (pool declaration
+// order, then index).
+func (c *Cluster) Allocate(nodeType, role string) (*Node, error) {
+	for _, node := range c.nodes {
+		if node.allocated {
+			continue
+		}
+		if nodeType != "" && node.pool.NodeType != nodeType {
+			continue
+		}
+		node.allocated = true
+		node.role = role
+		return node, nil
+	}
+	if nodeType == "" {
+		return nil, fmt.Errorf("cluster: %s: no free nodes", c.platform.Name)
+	}
+	return nil, fmt.Errorf("cluster: %s: no free %q nodes", c.platform.Name, nodeType)
+}
+
+// Release returns a node to the pool and wipes its state.
+func (c *Cluster) Release(n *Node) {
+	if own, ok := c.byName[n.name]; !ok || own != n {
+		return // not ours; ignore
+	}
+	n.reset()
+}
+
+// ReleaseAll wipes every allocated node, between experiment iterations.
+func (c *Cluster) ReleaseAll() {
+	for _, n := range c.nodes {
+		if n.allocated {
+			n.reset()
+		}
+	}
+}
+
+// Allocated lists currently allocated nodes in allocation order.
+func (c *Cluster) Allocated() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.allocated {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// String summarizes the cluster.
+func (c *Cluster) String() string {
+	var parts []string
+	for _, pool := range c.platform.Pools {
+		parts = append(parts, fmt.Sprintf("%s×%d@%dMHz", pool.Name, pool.NodeCount, pool.CPUMHz))
+	}
+	return fmt.Sprintf("cluster(%s: %s)", c.platform.Name, strings.Join(parts, ", "))
+}

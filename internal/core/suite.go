@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"elba/internal/spec"
+)
+
+// The paper's four experiment sets (Table 3), expressed in TBL. These are
+// the full-fidelity specifications; ReducedSuite shrinks them for quick
+// runs and benchmarks.
+
+// RubisBaselineJOnASTBL is the Figure 1–2 set: RUBiS on JOnAS, Emulab,
+// 1-1-1, 50–250 users × 0–90% writes.
+const RubisBaselineJOnASTBL = `
+experiment "rubis-baseline-jonas" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 50 to 250 step 50; writeratio 0 to 90 step 10; }
+	slo       { avg 1000ms; }
+}
+`
+
+// RubisBaselineWebLogicTBL is the Figure 3 set: RUBiS on WebLogic, Warp,
+// 1-1-1, 100–600 users × 0–90% writes.
+const RubisBaselineWebLogicTBL = `
+experiment "rubis-baseline-weblogic" {
+	benchmark rubis;
+	platform  warp;
+	appserver weblogic;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 100 to 600 step 50; writeratio 0 to 90 step 10; }
+	slo       { avg 1000ms; }
+}
+`
+
+// RubbosBaselineTBL is the Figure 4 set: RUBBoS read-only and 85/15
+// mixes on Emulab, 500–5000 users.
+const RubbosBaselineTBL = `
+experiment "rubbos-baseline-readonly" {
+	benchmark rubbos;
+	platform  emulab;
+	mix       read-only;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 500 to 5000 step 500; }
+}
+experiment "rubbos-baseline-mix" {
+	benchmark rubbos;
+	platform  emulab;
+	mix       submission;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 500 to 5000 step 500; writeratio 15; }
+}
+`
+
+// ScaleoutTopologies builds the paper's §V.B topology grid: 1-a-d for
+// a in [minApp, maxApp], d in [1, maxDB].
+func ScaleoutTopologies(minApp, maxApp, maxDB int) []spec.Topology {
+	var out []spec.Topology
+	for a := minApp; a <= maxApp; a++ {
+		for d := 1; d <= maxDB; d++ {
+			out = append(out, spec.Topology{Web: 1, App: a, DB: d})
+		}
+	}
+	return out
+}
+
+// RubisScaleoutTBL builds the Figure 5–8 / Table 6–7 set: RUBiS on JOnAS,
+// Emulab, topologies 1-a-d for a in [1,maxApp] × d in [1,maxDB], with the
+// workload swept to maxUsers at 15% writes.
+func RubisScaleoutTBL(maxApp, maxDB, maxUsers, step int) string {
+	var tris []string
+	for _, t := range ScaleoutTopologies(1, maxApp, maxDB) {
+		tris = append(tris, t.String())
+	}
+	return fmt.Sprintf(`
+experiment "rubis-scaleout-jonas" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topologies %s;
+	workload  { users 100 to %d step %d; writeratio 15; }
+	slo       { avg 1000ms; }
+}
+`, strings.Join(tris, ", "), maxUsers, step)
+}
+
+// PaperSuite returns the paper's four experiment sets at full fidelity.
+// Running it executes every trial behind Figures 1–8 and Tables 3–7.
+func PaperSuite() string {
+	return RubisBaselineJOnASTBL + RubisBaselineWebLogicTBL +
+		RubisScaleoutTBL(12, 3, 2900, 200) + RubbosBaselineTBL
+}
+
+// ReducedSuite returns a cut-down suite (fewer grid points, smaller
+// topology envelope) whose trials keep the paper's qualitative shape;
+// tests and benchmarks use it with a small TimeScale.
+func ReducedSuite() string {
+	return `
+experiment "rubis-baseline-jonas" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 50 to 250 step 100; writeratio 0 to 90 step 30; }
+}
+experiment "rubis-baseline-weblogic" {
+	benchmark rubis;
+	platform  warp;
+	appserver weblogic;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 200 to 600 step 200; writeratio 0 to 90 step 30; }
+}
+experiment "rubis-scaleout-jonas" {
+	benchmark rubis;
+	platform  emulab;
+	appserver jonas;
+	topologies 1-1-1, 1-2-1, 1-2-2, 1-4-1, 1-8-1, 1-8-2;
+	workload  { users 300 to 1900 step 400; writeratio 15; }
+}
+experiment "rubbos-baseline-readonly" {
+	benchmark rubbos;
+	platform  emulab;
+	mix       read-only;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 1000 to 5000 step 1000; }
+}
+experiment "rubbos-baseline-mix" {
+	benchmark rubbos;
+	platform  emulab;
+	mix       submission;
+	topology  { web 1; app 1; db 1; }
+	workload  { users 1000 to 5000 step 1000; writeratio 15; }
+}
+`
+}
+
+// FigureOf maps the standard suite's experiment sets to the paper figure
+// they feed, for Table 3 rendering.
+func FigureOf(set string) string {
+	switch set {
+	case "rubis-baseline-jonas":
+		return "Figures 1-2"
+	case "rubis-baseline-weblogic":
+		return "Figure 3"
+	case "rubis-scaleout-jonas":
+		return "Figures 5-8"
+	case "rubbos-baseline-readonly", "rubbos-baseline-mix":
+		return "Figure 4"
+	default:
+		return ""
+	}
+}

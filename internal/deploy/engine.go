@@ -1,0 +1,247 @@
+// Package deploy executes Mulini-generated deployment bundles against the
+// simulated cluster. The engine interprets the generated shell scripts
+// directly: `bash <script>` lines recurse into other bundle artifacts and
+// `elbactl <verb> ...` lines perform the actual actions (allocate,
+// install, push, configure, start, stop, release), so the generated text
+// is load-bearing, exactly as the paper's scripts are on a real testbed.
+// Any other line is shell boilerplate and is ignored, mirroring how a
+// real shell would execute echo/mkdir chatter without affecting the
+// deployed system's logical state.
+package deploy
+
+import (
+	"fmt"
+	"strings"
+
+	"elba/internal/cluster"
+	"elba/internal/mulini"
+)
+
+// Action records one executed elbactl command for audit and tests.
+type Action struct {
+	// Verb is the elbactl verb.
+	Verb string
+	// Role is the deployment role acted on.
+	Role string
+	// Arg carries the verb's object: package, service, or file path.
+	Arg string
+	// Script and Line locate the command in the generated bundle.
+	Script string
+	Line   int
+}
+
+// Engine interprets deployment bundles against a cluster.
+type Engine struct {
+	cluster  *cluster.Cluster
+	roles    map[string]*cluster.Node
+	audit    []Action
+	maxDepth int
+}
+
+// NewEngine creates an engine bound to a cluster.
+func NewEngine(c *cluster.Cluster) *Engine {
+	return &Engine{cluster: c, roles: map[string]*cluster.Node{}, maxDepth: 16}
+}
+
+// Node resolves a role to its allocated node.
+func (e *Engine) Node(role string) (*cluster.Node, bool) {
+	n, ok := e.roles[role]
+	return n, ok
+}
+
+// Roles lists bound roles in allocation order via the audit trail.
+func (e *Engine) Roles() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, a := range e.audit {
+		if a.Verb == "allocate" && !seen[a.Role] {
+			seen[a.Role] = true
+			out = append(out, a.Role)
+		}
+	}
+	return out
+}
+
+// Audit returns the executed actions (shared, not copied).
+func (e *Engine) Audit() []Action { return e.audit }
+
+// Execute runs a bundle starting from the entry script (normally
+// "run.sh"). Execution has set -e semantics: the first failing elbactl
+// command aborts with script/line context.
+func (e *Engine) Execute(b *mulini.Bundle, entry string) error {
+	return e.executeScript(b, entry, 0)
+}
+
+func (e *Engine) executeScript(b *mulini.Bundle, path string, depth int) error {
+	if depth > e.maxDepth {
+		return fmt.Errorf("deploy: script nesting too deep at %q", path)
+	}
+	art, ok := b.Get(path)
+	if !ok {
+		return fmt.Errorf("deploy: bundle has no script %q", path)
+	}
+	if art.Kind != mulini.Script {
+		return fmt.Errorf("deploy: artifact %q is %s, not a script", path, art.Kind)
+	}
+	lines := strings.Split(art.Content, "\n")
+	for i, raw := range lines {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "bash "):
+			sub := strings.TrimSpace(strings.TrimPrefix(line, "bash "))
+			if err := e.executeScript(b, sub, depth+1); err != nil {
+				return fmt.Errorf("%s:%d: %w", path, i+1, err)
+			}
+		case line == "elbactl" || strings.HasPrefix(line, "elbactl "):
+			if err := e.execElbactl(b, line, path, i+1); err != nil {
+				return fmt.Errorf("%s:%d: %w", path, i+1, err)
+			}
+		}
+	}
+	return nil
+}
+
+// execElbactl parses and executes one elbactl command line.
+func (e *Engine) execElbactl(b *mulini.Bundle, line, script string, lineNo int) error {
+	words, err := splitWords(line)
+	if err != nil {
+		return err
+	}
+	if len(words) < 2 {
+		return fmt.Errorf("deploy: malformed elbactl line %q", line)
+	}
+	verb := words[1]
+	flags, err := parseFlags(words[2:])
+	if err != nil {
+		return err
+	}
+	role := flags["role"]
+	if role == "" {
+		return fmt.Errorf("deploy: elbactl %s requires --role", verb)
+	}
+	record := func(arg string) {
+		e.audit = append(e.audit, Action{Verb: verb, Role: role, Arg: arg, Script: script, Line: lineNo})
+	}
+	switch verb {
+	case "allocate":
+		if _, dup := e.roles[role]; dup {
+			return fmt.Errorf("deploy: role %s already allocated", role)
+		}
+		node, err := e.cluster.Allocate(flags["type"], role)
+		if err != nil {
+			return err
+		}
+		e.roles[role] = node
+		record(flags["type"])
+		return nil
+	case "release":
+		node, ok := e.roles[role]
+		if !ok {
+			return fmt.Errorf("deploy: release of unbound role %s", role)
+		}
+		e.cluster.Release(node)
+		delete(e.roles, role)
+		record("")
+		return nil
+	}
+
+	node, ok := e.roles[role]
+	if !ok {
+		return fmt.Errorf("deploy: role %s not allocated before %s", role, verb)
+	}
+	switch verb {
+	case "install":
+		pkg := flags["package"]
+		if pkg == "" {
+			return fmt.Errorf("deploy: install requires --package")
+		}
+		record(pkg)
+		return node.Install(pkg, flags["version"])
+	case "configure":
+		pkg := flags["package"]
+		if pkg == "" {
+			return fmt.Errorf("deploy: configure requires --package")
+		}
+		record(pkg)
+		return node.Configure(pkg)
+	case "push":
+		dest, artifact := flags["file"], flags["artifact"]
+		if dest == "" || artifact == "" {
+			return fmt.Errorf("deploy: push requires --file and --artifact")
+		}
+		src, ok := b.Get(artifact)
+		if !ok {
+			return fmt.Errorf("deploy: push references missing artifact %q", artifact)
+		}
+		node.WriteFile(dest, src.Content)
+		record(dest)
+		return nil
+	case "start":
+		svc := flags["service"]
+		if svc == "" {
+			return fmt.Errorf("deploy: start requires --service")
+		}
+		record(svc)
+		return node.Start(svc)
+	case "stop":
+		svc := flags["service"]
+		if svc == "" {
+			return fmt.Errorf("deploy: stop requires --service")
+		}
+		record(svc)
+		return node.Stop(svc)
+	default:
+		return fmt.Errorf("deploy: unknown elbactl verb %q", verb)
+	}
+}
+
+// splitWords splits a shell-ish command line honoring double quotes.
+func splitWords(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+		case c == ' ' || c == '\t':
+			if inQuote {
+				cur.WriteByte(c)
+			} else {
+				flush()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("deploy: unterminated quote in %q", line)
+	}
+	flush()
+	return out, nil
+}
+
+// parseFlags converts --key value pairs into a map.
+func parseFlags(words []string) (map[string]string, error) {
+	flags := map[string]string{}
+	for i := 0; i < len(words); i++ {
+		w := words[i]
+		if !strings.HasPrefix(w, "--") {
+			return nil, fmt.Errorf("deploy: expected flag, found %q", w)
+		}
+		key := strings.TrimPrefix(w, "--")
+		if i+1 >= len(words) {
+			return nil, fmt.Errorf("deploy: flag --%s has no value", key)
+		}
+		i++
+		flags[key] = words[i]
+	}
+	return flags, nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"elba/internal/deploy"
+	"elba/internal/metrics"
+	"elba/internal/mulini"
+	"elba/internal/spec"
+	"elba/internal/store"
+)
+
+// RunReplicatedTrial runs a workload point `repeat` times with
+// independent seeds and aggregates the results: response-time and
+// throughput means carry 95% confidence half-widths, counters are summed,
+// and the aggregate is marked failed if any replica failed. With
+// repeat <= 1 it is RunTrial.
+//
+// Replication is the standard answer to the "random fluctuations ... at
+// saturation" the paper observes (§IV.A): the confidence interval makes
+// the fluctuation quantitative.
+func RunReplicatedTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement,
+	cfg TrialConfig, repeat int) (*TrialOutcome, error) {
+
+	if repeat <= 1 {
+		return RunTrial(e, d, p, cfg)
+	}
+	base := cfg.Seed
+	if base == 0 {
+		base = deriveSeed(e.Seed, d.Topology.String(), cfg.Users, cfg.WriteRatioPct)
+	}
+
+	var last *TrialOutcome
+	var rt, p50, p90, p99, x metrics.Summary
+	var agg store.Result
+	tierSum := map[string]float64{}
+	hostSum := map[string]float64{}
+	for i := 0; i < repeat; i++ {
+		rcfg := cfg
+		rcfg.Seed = base ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		out, err := RunTrial(e, d, p, rcfg)
+		if err != nil {
+			return nil, err
+		}
+		last = out
+		r := out.Result
+		if i == 0 {
+			agg = r
+			agg.TierCPU = map[string]float64{}
+			agg.HostCPU = map[string]float64{}
+			agg.Requests, agg.Errors, agg.CollectedBytes = 0, 0, 0
+			agg.MaxRTms = 0
+			agg.Completed = true
+		}
+		rt.Observe(r.AvgRTms)
+		p50.Observe(r.P50ms)
+		p90.Observe(r.P90ms)
+		p99.Observe(r.P99ms)
+		x.Observe(r.Throughput)
+		if r.MaxRTms > agg.MaxRTms {
+			agg.MaxRTms = r.MaxRTms
+		}
+		agg.Requests += r.Requests
+		agg.Errors += r.Errors
+		agg.CollectedBytes += r.CollectedBytes
+		if !r.Completed {
+			agg.Completed = false
+			if agg.FailReason == "" {
+				agg.FailReason = r.FailReason
+			}
+		}
+		for tier, u := range r.TierCPU {
+			tierSum[tier] += u
+		}
+		for host, u := range r.HostCPU {
+			hostSum[host] += u
+		}
+	}
+	agg.AvgRTms = rt.Mean()
+	agg.P50ms = p50.Mean()
+	agg.P90ms = p90.Mean()
+	agg.P99ms = p99.Mean()
+	agg.Throughput = x.Mean()
+	agg.Replicas = repeat
+	agg.AvgRTCI95ms = rt.CI95()
+	agg.ThroughputCI95 = x.CI95()
+	for tier, sum := range tierSum {
+		agg.TierCPU[tier] = sum / float64(repeat)
+	}
+	for host, sum := range hostSum {
+		agg.HostCPU[host] = sum / float64(repeat)
+	}
+	last.Result = agg
+	return last, nil
+}

@@ -1,0 +1,271 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"elba/internal/cim"
+	"elba/internal/cluster"
+	"elba/internal/deploy"
+	"elba/internal/mulini"
+	"elba/internal/spec"
+	"elba/internal/store"
+)
+
+// Runner executes whole experiment sets: for every topology it deploys
+// the Mulini-generated bundle, sweeps the workload grid, and records one
+// result per trial.
+type Runner struct {
+	catalog *cim.Catalog
+	gen     *mulini.Generator
+	results *store.Store
+
+	// TimeScale shrinks every trial's periods (1.0 = full paper
+	// protocol). Exposed so tests and quick benchmarks can run the same
+	// pipeline faster.
+	TimeScale float64
+	// OnTrial, when set, observes each stored result as it lands.
+	OnTrial func(store.Result)
+	// KeepGoingOnFailure records failed trials and continues the sweep
+	// (the paper's tables keep failed cells as gaps). When false, the
+	// first failed trial aborts the experiment.
+	KeepGoingOnFailure bool
+	// ArchiveDir, when set, stores every trial's raw monitor output
+	// (sysstat-format text, one file per host) under
+	// <dir>/<experiment>/<topology>/u<users>_w<ratio>/ — the per-host
+	// data files the paper collects by the gigabyte (Table 3).
+	ArchiveDir string
+	// Parallel runs this many deployments of a sweep concurrently
+	// (default 1 = sequential). Trials are independent simulations;
+	// cluster allocation is serialized internally, and the effective
+	// parallelism is capped so concurrent topologies always fit the
+	// platform's node count. OnTrial may be called from multiple
+	// goroutines when Parallel > 1.
+	Parallel int
+
+	// clusterMu serializes cluster mutations (allocate/deploy/release).
+	clusterMu sync.Mutex
+}
+
+// NewRunner builds a runner over the catalog; results accumulate in st.
+func NewRunner(catalog *cim.Catalog, st *store.Store) (*Runner, error) {
+	gen, err := mulini.NewGenerator(catalog, nil)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		st = store.New()
+	}
+	return &Runner{
+		catalog:            catalog,
+		gen:                gen,
+		results:            st,
+		TimeScale:          1.0,
+		KeepGoingOnFailure: true,
+	}, nil
+}
+
+// Store exposes the accumulated results.
+func (r *Runner) Store() *store.Store { return r.results }
+
+// Generator exposes the Mulini generator (the scale-out controller and
+// reports use it directly).
+func (r *Runner) Generator() *mulini.Generator { return r.gen }
+
+// Catalog exposes the CIM catalog.
+func (r *Runner) Catalog() *cim.Catalog { return r.catalog }
+
+// newCluster materializes the experiment's platform.
+func (r *Runner) newCluster(e *spec.Experiment) (*cluster.Cluster, error) {
+	platform, ok := r.catalog.PlatformByName(e.Platform)
+	if !ok {
+		return nil, fmt.Errorf("experiment: platform %q not in catalog", e.Platform)
+	}
+	return cluster.New(platform)
+}
+
+// RunExperiment executes the full sweep of e: every topology × user
+// population × write ratio. Results (including failed trials) land in the
+// runner's store. With Parallel > 1, deployments run concurrently.
+func (r *Runner) RunExperiment(e *spec.Experiment) error {
+	deployments, err := r.gen.Generate(e)
+	if err != nil {
+		return err
+	}
+	cl, err := r.newCluster(e)
+	if err != nil {
+		return err
+	}
+	deployer := deploy.NewDeployer(cl)
+
+	workers := r.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	// Cap parallelism so the largest concurrent topologies always fit
+	// the platform; each deployment also occupies a client machine.
+	maxMachines := 0
+	for _, d := range deployments {
+		if m := d.MachineCount(); m > maxMachines {
+			maxMachines = m
+		}
+	}
+	if maxMachines > 0 {
+		if fit := cl.Size() / maxMachines; workers > fit {
+			workers = fit
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		for _, d := range deployments {
+			if err := r.runDeployment(e, deployer, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Fully buffered so early worker exits can never deadlock the feeder.
+	jobs := make(chan *mulini.Deployment, len(deployments))
+	for _, d := range deployments {
+		jobs <- d
+	}
+	close(jobs)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := range jobs {
+				if err := r.runDeployment(e, deployer, d); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runDeployment deploys one topology and sweeps its workload grid.
+// Cluster mutations are serialized; the trials themselves run without
+// the lock, which is what makes sweep parallelism safe.
+func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d *mulini.Deployment) error {
+	r.clusterMu.Lock()
+	placement, err := deployer.Deploy(d)
+	r.clusterMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("experiment %s/%s: %w", e.Name, d.Topology, err)
+	}
+	defer func() {
+		// Teardown errors after a completed sweep are deployment bugs;
+		// surface them loudly rather than silently leaking nodes.
+		r.clusterMu.Lock()
+		uerr := deployer.Undeploy(placement)
+		r.clusterMu.Unlock()
+		if uerr != nil && err == nil {
+			err = uerr
+		}
+	}()
+	for _, wr := range e.Workload.WriteRatioPct.Values() {
+		for _, users := range e.Workload.Users.Values() {
+			out, terr := RunReplicatedTrial(e, d, placement, TrialConfig{
+				Users:         int(users),
+				WriteRatioPct: wr,
+				TimeScale:     r.TimeScale,
+			}, e.Repeat)
+			if terr != nil {
+				return fmt.Errorf("experiment %s/%s u=%d w=%g: %w",
+					e.Name, d.Topology, int(users), wr, terr)
+			}
+			r.results.Put(out.Result)
+			if err := r.archive(out); err != nil {
+				return err
+			}
+			if r.OnTrial != nil {
+				r.OnTrial(out.Result)
+			}
+			if !out.Result.Completed && !r.KeepGoingOnFailure {
+				return fmt.Errorf("experiment %s/%s u=%d w=%g failed: %s",
+					e.Name, d.Topology, int(users), wr, out.Result.FailReason)
+			}
+		}
+	}
+	return err
+}
+
+// RunTrialAt deploys topology topo of experiment e, runs a single trial
+// at the given workload point, tears down, and returns the outcome. The
+// scale-out controller and ad-hoc probes use it.
+func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, writeRatioPct float64) (*TrialOutcome, error) {
+	d, err := r.gen.GenerateOne(e, topo)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := r.newCluster(e)
+	if err != nil {
+		return nil, err
+	}
+	deployer := deploy.NewDeployer(cl)
+	placement, err := deployer.Deploy(d)
+	if err != nil {
+		return nil, err
+	}
+	out, terr := RunReplicatedTrial(e, d, placement, TrialConfig{
+		Users:         users,
+		WriteRatioPct: writeRatioPct,
+		TimeScale:     r.TimeScale,
+	}, e.Repeat)
+	if uerr := deployer.Undeploy(placement); uerr != nil && terr == nil {
+		terr = uerr
+	}
+	if terr != nil {
+		return nil, terr
+	}
+	r.results.Put(out.Result)
+	if err := r.archive(out); err != nil {
+		return nil, err
+	}
+	if r.OnTrial != nil {
+		r.OnTrial(out.Result)
+	}
+	return out, nil
+}
+
+// archive writes a trial's raw monitor files under ArchiveDir (no-op when
+// unset).
+func (r *Runner) archive(out *TrialOutcome) error {
+	if r.ArchiveDir == "" || out.Monitor == nil {
+		return nil
+	}
+	k := out.Result.Key
+	dir := filepath.Join(r.ArchiveDir, k.Experiment, k.Topology,
+		fmt.Sprintf("u%d_w%g", k.Users, k.WriteRatioPct))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: archive: %w", err)
+	}
+	for _, host := range out.Monitor.Hosts() {
+		text, ok := out.Monitor.File(host)
+		if !ok {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, host+".sar"), []byte(text), 0o644); err != nil {
+			return fmt.Errorf("experiment: archive: %w", err)
+		}
+	}
+	return nil
+}

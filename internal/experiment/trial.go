@@ -1,0 +1,334 @@
+package experiment
+
+import (
+	"fmt"
+
+	"elba/internal/deploy"
+	"elba/internal/monitor"
+	"elba/internal/mulini"
+	"elba/internal/sim"
+	"elba/internal/spec"
+	"elba/internal/store"
+)
+
+// FailureErrorRate is the error fraction above which a trial is recorded
+// as failed-to-complete, producing the paper's Table 7 missing squares.
+const FailureErrorRate = 0.05
+
+// TrialConfig parameterizes one trial run.
+type TrialConfig struct {
+	// Users is the concurrent-user population for this trial.
+	Users int
+	// WriteRatioPct is the database write ratio in percent.
+	WriteRatioPct float64
+	// TimeScale shrinks the trial periods for fast runs (1.0 = the full
+	// paper protocol; 0.1 = one tenth). Defaults to 1.0.
+	TimeScale float64
+	// Seed overrides the derived deterministic seed when non-zero.
+	Seed uint64
+}
+
+// TrialOutcome carries a trial's stored result plus the raw monitoring
+// session for figure rendering.
+type TrialOutcome struct {
+	Result  store.Result
+	Monitor *monitor.Monitor
+	// RunWindow is the [start, end) simulated-time window of the
+	// measurement period, for windowed series queries.
+	RunWindow [2]float64
+}
+
+// memory profile per tier: idle resident set and per-request working set.
+var memProfile = map[string]struct{ base, perJob float64 }{
+	"web":    {80, 0.2},
+	"app":    {420, 0.5},
+	"db":     {220, 0.4},
+	"client": {120, 0.1},
+}
+
+// RunTrial executes one trial of experiment e against a deployed
+// placement. The simulated application is constructed from the placement's
+// actual nodes: CPU speeds come from the allocated hardware and the
+// session capacity from the deployed app-server packages, so a wrong
+// deployment shows up as a wrong measurement.
+func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg TrialConfig) (*TrialOutcome, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("experiment: trial needs at least one user")
+	}
+	ts := cfg.TimeScale
+	if ts <= 0 {
+		ts = 1.0
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = deriveSeed(e.Seed, d.Topology.String(), cfg.Users, cfg.WriteRatioPct)
+	}
+
+	model, err := Model(e, cfg.WriteRatioPct)
+	if err != nil {
+		return nil, err
+	}
+
+	k := sim.NewKernel(seed)
+	nt, maxSessions, err := buildNTier(k, d, p)
+	if err != nil {
+		return nil, err
+	}
+
+	warm := e.Trial.WarmupSec * ts
+	run := e.Trial.RunSec * ts
+	cool := e.Trial.CooldownSec * ts
+
+	rampUp := warm / 2
+	if rampUp > 10 {
+		rampUp = 10
+	}
+	driver := sim.NewDriver(k, nt, model, sim.DriverConfig{
+		Users:       cfg.Users,
+		Timeout:     e.Workload.TimeoutSec,
+		RampUp:      rampUp,
+		MaxSessions: maxSessions,
+	}, seed^0x5eed)
+
+	probes, stationOf, hostOf := buildProbes(d, p, nt, model)
+	mon, err := monitor.New(k, monitor.Config{
+		IntervalSec: e.Monitor.IntervalSec * ts,
+		Metrics:     e.Monitor.Metrics,
+	}, probes)
+	if err != nil {
+		return nil, err
+	}
+
+	// Schedule fault injection: outages are specified relative to the run
+	// period and scale with the trial, like everything else.
+	for _, f := range e.Faults {
+		st, ok := stationOf[f.Role]
+		if !ok {
+			return nil, fmt.Errorf("experiment: fault names role %s, absent from topology %s",
+				f.Role, d.Topology)
+		}
+		failAt := warm + f.AtSec*ts
+		recoverAt := failAt + f.DurationSec*ts
+		k.Schedule(failAt, st.Fail)
+		k.Schedule(recoverAt, st.Recover)
+	}
+
+	driver.Start()
+	mon.Start()
+
+	k.Run(warm)
+	nt.ResetAccounting()
+	driver.BeginMeasurement()
+	runStart := k.Now()
+	k.Run(warm + run)
+	driver.EndMeasurement()
+	runEnd := k.Now()
+	k.Run(warm + run + cool)
+	mon.Stop()
+
+	res := assembleResult(e, d, driver, mon, stationOf, hostOf, cfg, runStart, runEnd)
+	return &TrialOutcome{Result: res, Monitor: mon, RunWindow: [2]float64{runStart, runEnd}}, nil
+}
+
+// buildNTier constructs the queueing network from the deployed placement
+// and reports the deployment's total session capacity.
+func buildNTier(k *sim.Kernel, d *mulini.Deployment, p *deploy.Placement) (*sim.NTier, int, error) {
+	mkStations := func(tier string) ([]*sim.Station, error) {
+		var out []*sim.Station
+		for _, role := range d.Roles(tier) {
+			node, ok := p.Node(role)
+			if !ok {
+				return nil, fmt.Errorf("experiment: role %s has no allocated node", role)
+			}
+			out = append(out, sim.NewStation(k, sim.StationConfig{
+				Name:    role,
+				Servers: node.Cores(),
+				Speed:   node.Speed(),
+			}))
+		}
+		return out, nil
+	}
+	web, err := mkStations("web")
+	if err != nil {
+		return nil, 0, err
+	}
+	app, err := mkStations("app")
+	if err != nil {
+		return nil, 0, err
+	}
+	db, err := mkStations("db")
+	if err != nil {
+		return nil, 0, err
+	}
+	// Session capacity: each app-server instance holds MaxClients
+	// persistent connections, and multi-CPU nodes run one instance per
+	// CPU (the Warp blades run two WebLogic instances; the single-CPU
+	// Emulab nodes run one JOnAS each, giving the paper's 700-user limit
+	// for the 1-2-1 configuration).
+	maxSessions := 0
+	for _, role := range d.Roles("app") {
+		a, ok := d.Find(role)
+		if !ok || len(a.Packages) == 0 {
+			continue
+		}
+		node, ok := p.Node(role)
+		if !ok {
+			continue
+		}
+		maxSessions += a.Packages[0].MaxClients * node.Cores()
+	}
+	nt := &sim.NTier{
+		Web: sim.NewTier(k, "web", sim.RoundRobin, web),
+		App: sim.NewTier(k, "app", sim.RoundRobin, app),
+		DB:  sim.NewRAIDb(k, sim.RoundRobin, db),
+	}
+	return nt, maxSessions, nil
+}
+
+// buildProbes wires a monitor probe to every deployed node. Network and
+// disk counters are derived from the station completion counters and the
+// workload's mean transfer sizes.
+func buildProbes(d *mulini.Deployment, p *deploy.Placement, nt *sim.NTier, model interface {
+	MeanBytes() (float64, float64)
+}) ([]monitor.Probe, map[string]*sim.Station, map[string]string) {
+	reqBytes, replyBytes := model.MeanBytes()
+	stationOf := map[string]*sim.Station{}
+	hostOf := map[string]string{}
+	byTier := map[string][]*sim.Station{
+		"web": nt.Web.Stations(),
+		"app": nt.App.Stations(),
+		"db":  nt.DB.Replicas(),
+	}
+	for tier, stations := range byTier {
+		for i, role := range d.Roles(tier) {
+			if i < len(stations) {
+				stationOf[role] = stations[i]
+			}
+		}
+	}
+	var probes []monitor.Probe
+	for _, a := range d.Assignments {
+		node, ok := p.Node(a.Role)
+		if !ok {
+			continue
+		}
+		hostOf[a.Role] = node.Name()
+		mp := memProfile[a.Tier]
+		probe := monitor.Probe{
+			Host:        node.Name(),
+			Role:        a.Role,
+			Station:     stationOf[a.Role],
+			TotalMemMB:  float64(node.Pool().MemoryMB),
+			BaseMemMB:   mp.base,
+			MemPerJobMB: mp.perJob,
+		}
+		if st := stationOf[a.Role]; st != nil {
+			perReq := reqBytes + replyBytes
+			switch a.Tier {
+			case "db":
+				perReq = 600 // query + row traffic, not page bodies
+			case "app":
+				perReq = replyBytes + 400
+			}
+			probe.NetBytes = func() float64 { return float64(st.Completed()) * perReq }
+			if a.Tier == "db" {
+				probe.DiskOps = func() float64 { return float64(st.Completed()) * 1.6 }
+			}
+		}
+		probes = append(probes, probe)
+	}
+	return probes, stationOf, hostOf
+}
+
+func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver,
+	mon *monitor.Monitor, stationOf map[string]*sim.Station, hostOf map[string]string,
+	cfg TrialConfig, runStart, runEnd float64) store.Result {
+
+	rts := driver.ResponseTimes()
+	dur := runEnd - runStart
+	res := store.Result{
+		Key: store.Key{
+			Experiment:    e.Name,
+			Topology:      d.Topology.String(),
+			Users:         cfg.Users,
+			WriteRatioPct: cfg.WriteRatioPct,
+		},
+		Requests:       int64(rts.Count()),
+		Errors:         driver.Errors(),
+		RunSeconds:     dur,
+		CollectedBytes: mon.CollectedBytes(),
+		TierCPU:        map[string]float64{},
+		HostCPU:        map[string]float64{},
+	}
+	if rts.Count() > 0 {
+		res.AvgRTms = rts.Mean() * 1000
+		res.P50ms = rts.Percentile(50) * 1000
+		res.P90ms = rts.Percentile(90) * 1000
+		res.P99ms = rts.Percentile(99) * 1000
+		res.MaxRTms = rts.Max() * 1000
+		res.Throughput = float64(rts.Count()) / dur
+	}
+	if per := driver.PerInteraction(); len(per) > 0 {
+		res.PerInteraction = make(map[string]float64, len(per))
+		for name, s := range per {
+			res.PerInteraction[name] = s.Mean() * 1000
+		}
+	}
+
+	// Per-host and per-tier CPU means over the run window, read from the
+	// monitor output exactly as the paper's analysis pipeline would.
+	tierSums := map[string]float64{}
+	tierCounts := map[string]int{}
+	for _, a := range d.Assignments {
+		if stationOf[a.Role] == nil {
+			continue
+		}
+		host := hostOf[a.Role]
+		if host == "" {
+			continue
+		}
+		if ts, ok := mon.Series(host, "cpu"); ok {
+			if mean, ok := ts.MeanIn(runStart, runEnd); ok {
+				res.HostCPU[a.Role] = mean
+				tierSums[a.Tier] += mean
+				tierCounts[a.Tier]++
+			}
+		}
+	}
+	for tier, sum := range tierSums {
+		res.TierCPU[tier] = sum / float64(tierCounts[tier])
+	}
+
+	total := res.Requests + res.Errors
+	switch {
+	case total == 0:
+		res.Completed = false
+		res.FailReason = "no requests completed during the run period"
+	case res.ErrorRate() > FailureErrorRate:
+		res.Completed = false
+		res.FailReason = fmt.Sprintf("error rate %.1f%% exceeds %.0f%%",
+			res.ErrorRate()*100, FailureErrorRate*100)
+	default:
+		res.Completed = true
+	}
+	return res
+}
+
+// deriveSeed mixes the experiment seed with the trial coordinates so each
+// trial has an independent, reproducible random stream.
+func deriveSeed(base uint64, topo string, users int, wr float64) uint64 {
+	h := base
+	mix := func(x uint64) {
+		h ^= x
+		h *= 0x100000001b3
+	}
+	for i := 0; i < len(topo); i++ {
+		mix(uint64(topo[i]))
+	}
+	mix(uint64(users))
+	mix(uint64(wr * 1000))
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width buckets over [Lo, Hi).
+// Values outside the range are clamped into the first or last bucket, and
+// tracked separately as underflow/overflow counts.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n equal-width buckets spanning
+// [lo, hi). It panics if n <= 0 or hi <= lo, which indicates a programming
+// error rather than a runtime condition.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: invalid histogram bounds [%g,%g) n=%d", lo, hi, n))
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+		h.buckets[0]++
+	case x >= h.hi:
+		h.overflow++
+		h.buckets[len(h.buckets)-1]++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard float rounding at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bucket reports the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Buckets reports the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// BucketBounds reports the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Quantile estimates the q-th quantile by linear interpolation within the
+// bucket that contains the target rank. It returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo, _ := h.BucketBounds(i)
+			frac := (target - cum) / float64(c)
+			return lo + frac*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// Render draws a simple ASCII bar chart of the histogram, at most width
+// characters wide, for inclusion in experiment reports.
+func (h *Histogram) Render(width int) string {
+	if width < 8 {
+		width = 8
+	}
+	var peak int64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.buckets {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if peak > 0 {
+			bar = int(math.Round(float64(c) / float64(peak) * float64(width)))
+		}
+		fmt.Fprintf(&b, "%10.1f-%-10.1f |%s %d\n", lo, hi, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

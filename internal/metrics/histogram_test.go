@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Count() != 10 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	lo, hi := h.BucketBounds(3)
+	if lo != 3 || hi != 4 {
+		t.Errorf("bounds(3) = [%g,%g)", lo, hi)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Observe(-1)
+	h.Observe(100)
+	h.Observe(10) // exactly hi goes to overflow
+	if h.Bucket(0) != 1 {
+		t.Errorf("underflow not clamped to first bucket")
+	}
+	if h.Bucket(4) != 2 {
+		t.Errorf("overflow not clamped to last bucket: %d", h.Bucket(4))
+	}
+	if h.underflow != 1 || h.overflow != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.underflow, h.overflow)
+	}
+}
+
+func TestHistogramQuantileAgainstSample(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	h := NewHistogram(0, 1000, 2000)
+	s := NewSample(0)
+	for i := 0; i < 20000; i++ {
+		x := rng.ExpFloat64() * 100
+		if x >= 1000 {
+			x = 999.9
+		}
+		h.Observe(x)
+		s.Observe(x)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		hq, sq := h.Quantile(q), s.Quantile(q)
+		if math.Abs(hq-sq) > 2.0 { // within a couple of bucket widths
+			t.Errorf("q=%g: histogram %.2f vs sample %.2f", q, hq, sq)
+		}
+	}
+}
+
+func TestHistogramQuantileEdge(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile should be 0")
+	}
+	h.Observe(5.5)
+	if q := h.Quantile(1.1); q < 5 || q > 6 {
+		t.Fatalf("clamped quantile out of bucket: %g", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for invalid bounds")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(1.6)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render produced no bars:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("expected 4 lines:\n%s", out)
+	}
+}
+
+// Property: total count equals observations; quantile(1) <= hi.
+func TestHistogramCountProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(-100, 100, 50)
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Observe(math.Mod(x, 500))
+			n++
+		}
+		return h.Count() == int64(n) && h.Quantile(1) <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package monitor implements the system-level monitoring layer that
+// Mulini parameterizes per host (paper §II): samplers that read simulated
+// host counters on a fixed interval and emit sysstat-style records. The
+// collected text files are what the paper stores by the gigabyte
+// (Table 3's "collected perf. data size"); the CPU-utilization series
+// feed Figures 2 and 8.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elba/internal/metrics"
+	"elba/internal/sim"
+)
+
+// Probe describes one monitored host: where its CPU signal comes from and
+// how its memory, network, and disk counters are derived.
+type Probe struct {
+	// Host is the node hostname the monitor runs on.
+	Host string
+	// Role is the deployment role (APP1, MYSQL2, ...).
+	Role string
+	// Station supplies the CPU busy-time integral and queue depth. May be
+	// nil for hosts that run no modelled service (the client node).
+	Station *sim.Station
+	// TotalMemMB is the node's physical memory.
+	TotalMemMB float64
+	// BaseMemMB is the resident set of the installed software at idle.
+	BaseMemMB float64
+	// MemPerJobMB approximates per-in-flight-request memory.
+	MemPerJobMB float64
+	// NetBytes cumulatively counts bytes through the host (nil = none).
+	NetBytes func() float64
+	// DiskOps cumulatively counts disk operations (nil = none).
+	DiskOps func() float64
+}
+
+// Config configures a monitoring session.
+type Config struct {
+	// IntervalSec is the sampling interval from the TBL monitor clause.
+	IntervalSec float64
+	// Metrics enables metric families: cpu, memory, network, disk.
+	Metrics []string
+}
+
+// Monitor samples a set of probes on a simulation kernel.
+type Monitor struct {
+	k       *sim.Kernel
+	cfg     Config
+	probes  []Probe
+	running bool
+
+	lastBusy map[string]float64
+	lastNet  map[string]float64
+	lastDisk map[string]float64
+
+	files  map[string]*strings.Builder
+	series map[string]*metrics.TimeSeries
+}
+
+// New creates a monitor for the probes. Sampling begins at Start.
+func New(k *sim.Kernel, cfg Config, probes []Probe) (*Monitor, error) {
+	if cfg.IntervalSec <= 0 {
+		return nil, fmt.Errorf("monitor: sampling interval must be positive")
+	}
+	if len(probes) == 0 {
+		return nil, fmt.Errorf("monitor: no probes configured")
+	}
+	m := &Monitor{
+		k: k, cfg: cfg, probes: probes,
+		lastBusy: map[string]float64{},
+		lastNet:  map[string]float64{},
+		lastDisk: map[string]float64{},
+		files:    map[string]*strings.Builder{},
+		series:   map[string]*metrics.TimeSeries{},
+	}
+	for _, p := range probes {
+		m.files[p.Host] = &strings.Builder{}
+		fmt.Fprintf(m.files[p.Host], "# sysstat 5.0.5 host=%s role=%s interval=%gs\n",
+			p.Host, p.Role, cfg.IntervalSec)
+	}
+	return m, nil
+}
+
+func (m *Monitor) has(metric string) bool {
+	for _, x := range m.cfg.Metrics {
+		if x == metric {
+			return true
+		}
+	}
+	return false
+}
+
+// Start begins periodic sampling. Sampling continues until Stop.
+func (m *Monitor) Start() {
+	m.running = true
+	// Prime counters so the first window starts at Start, not at t=0.
+	for _, p := range m.probes {
+		if p.Station != nil {
+			m.lastBusy[p.Host] = p.Station.BusyTime()
+		}
+		if p.NetBytes != nil {
+			m.lastNet[p.Host] = p.NetBytes()
+		}
+		if p.DiskOps != nil {
+			m.lastDisk[p.Host] = p.DiskOps()
+		}
+	}
+	m.k.Schedule(m.cfg.IntervalSec, m.tick)
+}
+
+// Stop halts sampling after the current interval.
+func (m *Monitor) Stop() { m.running = false }
+
+func (m *Monitor) tick() {
+	if !m.running {
+		return
+	}
+	now := m.k.Now()
+	for i := range m.probes {
+		m.sample(&m.probes[i], now)
+	}
+	m.k.Schedule(m.cfg.IntervalSec, m.tick)
+}
+
+func (m *Monitor) sample(p *Probe, now float64) {
+	f := m.files[p.Host]
+	if m.has("cpu") {
+		util := 0.0
+		if p.Station != nil {
+			busy := p.Station.BusyTime()
+			delta := busy - m.lastBusy[p.Host]
+			m.lastBusy[p.Host] = busy
+			util = delta / (m.cfg.IntervalSec * float64(p.Station.Servers()))
+			if util > 1 {
+				util = 1
+			}
+		}
+		user := util * 100 * 0.92
+		sys := util * 100 * 0.08
+		idle := 100 - user - sys
+		fmt.Fprintf(f, "%s %s cpu all %6.2f %6.2f %6.2f\n", stamp(now), p.Host, user, sys, idle)
+		m.record(p.Host, "cpu", now, util*100)
+	}
+	if m.has("memory") {
+		used := p.BaseMemMB
+		if p.Station != nil {
+			used += float64(p.Station.InFlight()) * p.MemPerJobMB
+		}
+		if p.TotalMemMB > 0 && used > p.TotalMemMB {
+			used = p.TotalMemMB
+		}
+		free := p.TotalMemMB - used
+		fmt.Fprintf(f, "%s %s mem %8.1f %8.1f\n", stamp(now), p.Host, used, free)
+		m.record(p.Host, "memory", now, used)
+	}
+	if m.has("network") && p.NetBytes != nil {
+		cum := p.NetBytes()
+		rate := (cum - m.lastNet[p.Host]) / m.cfg.IntervalSec
+		m.lastNet[p.Host] = cum
+		fmt.Fprintf(f, "%s %s net eth0 %12.1f\n", stamp(now), p.Host, rate)
+		m.record(p.Host, "network", now, rate)
+	}
+	if m.has("disk") && p.DiskOps != nil {
+		cum := p.DiskOps()
+		rate := (cum - m.lastDisk[p.Host]) / m.cfg.IntervalSec
+		m.lastDisk[p.Host] = cum
+		fmt.Fprintf(f, "%s %s disk sda %10.1f\n", stamp(now), p.Host, rate)
+		m.record(p.Host, "disk", now, rate)
+	}
+}
+
+func (m *Monitor) record(host, metric string, t, v float64) {
+	key := host + "/" + metric
+	ts, ok := m.series[key]
+	if !ok {
+		ts = metrics.NewTimeSeries(key)
+		m.series[key] = ts
+	}
+	ts.Append(t, v)
+}
+
+// stamp renders a simulated time as HH:MM:SS, sar style.
+func stamp(t float64) string {
+	s := int(t)
+	return fmt.Sprintf("%02d:%02d:%02d", s/3600%24, s/60%60, s%60)
+}
+
+// Series returns the sampled time series for host/metric.
+func (m *Monitor) Series(host, metric string) (*metrics.TimeSeries, bool) {
+	ts, ok := m.series[host+"/"+metric]
+	return ts, ok
+}
+
+// File returns the sysstat-format text collected for a host.
+func (m *Monitor) File(host string) (string, bool) {
+	f, ok := m.files[host]
+	if !ok {
+		return "", false
+	}
+	return f.String(), true
+}
+
+// Hosts lists monitored hosts, sorted.
+func (m *Monitor) Hosts() []string {
+	out := make([]string, 0, len(m.files))
+	for h := range m.files {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectedBytes reports the total size of collected monitor output, the
+// quantity the paper's Table 3 reports per experiment set.
+func (m *Monitor) CollectedBytes() int {
+	n := 0
+	for _, f := range m.files {
+		n += f.Len()
+	}
+	return n
+}

@@ -1,0 +1,159 @@
+package mulini
+
+import (
+	"fmt"
+	"strings"
+
+	"elba/internal/cim"
+	"elba/internal/spec"
+)
+
+// Pkg is a software package pinned to a version, resolved from the CIM
+// catalog.
+type Pkg struct {
+	Name    string
+	Version string
+	// MaxClients is the server's connection-pool size (0 = unlimited).
+	MaxClients int
+	// Port is the service port derived from the catalog's PortBase.
+	Port int
+}
+
+// Assignment binds a deployment role to a node-type allocation hint and
+// the packages the role runs. Hostnames are assigned at deployment time;
+// generated scripts refer to roles.
+type Assignment struct {
+	// Role is the unique role name, e.g. "MYSQL2" or "CLIENT1".
+	Role string
+	// Tier is "web", "app", "db", or "client".
+	Tier string
+	// Index is the 1-based replica index within the tier.
+	Index int
+	// NodeType is the allocation hint (e.g. "low-end"); "" means any.
+	NodeType string
+	// Packages are installed in order.
+	Packages []Pkg
+}
+
+// Deployment is the resolved model for one topology of an experiment:
+// the input Mulini's backends render into scripts and configs.
+type Deployment struct {
+	// Experiment is the TBL experiment this deployment belongs to.
+	Experiment *spec.Experiment
+	// Topology is the w-a-d triple this deployment realizes.
+	Topology spec.Topology
+	// Assignments lists server and client roles in deployment order.
+	Assignments []Assignment
+	// AppServerPkg names the application-server package in use.
+	AppServerPkg string
+	// Bundle holds the generated artifacts once a backend has rendered
+	// the deployment.
+	Bundle *Bundle
+}
+
+// Roles lists role names for a tier, in index order.
+func (d *Deployment) Roles(tier string) []string {
+	var out []string
+	for _, a := range d.Assignments {
+		if a.Tier == tier {
+			out = append(out, a.Role)
+		}
+	}
+	return out
+}
+
+// Find returns the assignment for a role.
+func (d *Deployment) Find(role string) (Assignment, bool) {
+	for _, a := range d.Assignments {
+		if a.Role == role {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// MachineCount reports the number of machines the deployment occupies,
+// including the client-driver node.
+func (d *Deployment) MachineCount() int { return len(d.Assignments) }
+
+// roleName builds the paper-style role identifier, e.g. "TOMCAT1" for the
+// first Tomcat node or "MYSQL2".
+func roleName(pkg string, index int) string {
+	return strings.ToUpper(pkg) + fmt.Sprint(index)
+}
+
+// resolve computes the deployment model for one topology from the
+// experiment and the CIM catalog. The layout follows the paper's setup:
+// Apache on every web node, the chosen application server (plus monitors)
+// on every app node, MySQL on every db node, the C-JDBC controller
+// co-located with the first database when the DB tier is replicated, and
+// one client node running the generated workload driver.
+func resolve(cat *cim.Catalog, e *spec.Experiment, topo spec.Topology) (*Deployment, error) {
+	d := &Deployment{Experiment: e, Topology: topo}
+
+	lookup := func(name string) (Pkg, error) {
+		sw, ok := cat.SoftwareByName(name)
+		if !ok {
+			return Pkg{}, fmt.Errorf("mulini: software %q not in catalog", name)
+		}
+		return Pkg{Name: sw.Name, Version: sw.Version, MaxClients: sw.MaxClients, Port: sw.PortBase}, nil
+	}
+
+	apache, err := lookup("apache")
+	if err != nil {
+		return nil, err
+	}
+	sysstat, err := lookup("sysstat")
+	if err != nil {
+		return nil, err
+	}
+	appPkg, err := lookup(e.AppServer)
+	if err != nil {
+		return nil, err
+	}
+	mysql, err := lookup("mysql")
+	if err != nil {
+		return nil, err
+	}
+	cjdbc, err := lookup("cjdbc")
+	if err != nil {
+		return nil, err
+	}
+	d.AppServerPkg = appPkg.Name
+
+	nodeType := func(tier string) string { return e.Allocate[tier] }
+
+	for i := 1; i <= topo.Web; i++ {
+		d.Assignments = append(d.Assignments, Assignment{
+			Role: roleName(apache.Name, i), Tier: "web", Index: i,
+			NodeType: nodeType("web"),
+			Packages: []Pkg{apache, sysstat},
+		})
+	}
+	for i := 1; i <= topo.App; i++ {
+		d.Assignments = append(d.Assignments, Assignment{
+			Role: roleName(appPkg.Name, i), Tier: "app", Index: i,
+			NodeType: nodeType("app"),
+			Packages: []Pkg{appPkg, sysstat},
+		})
+	}
+	for i := 1; i <= topo.DB; i++ {
+		pkgs := []Pkg{mysql, sysstat}
+		if i == 1 && topo.DB > 1 {
+			// The C-JDBC controller fronts the replicated backends.
+			pkgs = []Pkg{mysql, cjdbc, sysstat}
+		}
+		d.Assignments = append(d.Assignments, Assignment{
+			Role: roleName(mysql.Name, i), Tier: "db", Index: i,
+			NodeType: nodeType("db"),
+			Packages: pkgs,
+		})
+	}
+	driver := Pkg{Name: e.Benchmark + "-client", Version: "1.0", Port: 0}
+	d.Assignments = append(d.Assignments, Assignment{
+		Role: "CLIENT1", Tier: "client", Index: 1,
+		NodeType: nodeType("web"), // client runs on a fast node
+		Packages: []Pkg{driver, sysstat},
+	})
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package mulini
+
+import (
+	"strings"
+	"testing"
+
+	"elba/internal/cim"
+)
+
+func TestSmartFrogBackendRenders(t *testing.T) {
+	cat, err := cim.LoadCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(cat, SmartFrogBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Backend() != "smartfrog" {
+		t.Fatalf("backend = %q", g.Backend())
+	}
+	ds, err := g.Generate(testExperiment(t, "1-2-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ds[0].Bundle
+	sf, ok := b.Get("rubis-test.sf")
+	if !ok {
+		t.Fatalf("missing .sf description; paths = %v", b.Paths())
+	}
+	for _, want := range []string{
+		"extends Compound",
+		`sfProcessHost "JONAS1"`,
+		`sfProcessHost "MYSQL2"`,
+		`package "cjdbc"`,
+		"maxClients 350",
+		`nodeType "low-end"`,
+		`source "workers2.properties"`,
+	} {
+		if !strings.Contains(sf.Content, want) {
+			t.Errorf(".sf description missing %q", want)
+		}
+	}
+	// Braces balance.
+	if strings.Count(sf.Content, "{") != strings.Count(sf.Content, "}") {
+		t.Errorf(".sf braces unbalanced")
+	}
+	// Vendor configs are shared with the shell backend.
+	if _, ok := b.Get("mysqldb-raidb1-elba.xml"); !ok {
+		t.Errorf("smartfrog bundle missing C-JDBC config")
+	}
+	if _, ok := b.Get("rubis_client.properties"); !ok {
+		t.Errorf("smartfrog bundle missing driver properties")
+	}
+}
+
+// TestBackendsAgreeOnStructure is the ablation hook (DESIGN.md §5): both
+// backends render the same deployment model, so the machine count and
+// config content must agree even though the script languages differ.
+func TestBackendsAgreeOnStructure(t *testing.T) {
+	cat, _ := cim.LoadCatalog()
+	shell, _ := NewGenerator(cat, ShellBackend{})
+	sf, _ := NewGenerator(cat, SmartFrogBackend{})
+	e := testExperiment(t, "1-3-2")
+	dsShell, err := shell.Generate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsSF, err := sf.Generate(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsShell[0].MachineCount() != dsSF[0].MachineCount() {
+		t.Fatalf("machine counts differ across backends")
+	}
+	a, _ := dsShell[0].Bundle.Get("workers2.properties")
+	b, _ := dsSF[0].Bundle.Get("workers2.properties")
+	if a.Content != b.Content {
+		t.Fatalf("vendor config differs across backends")
+	}
+	// The declarative description is far more compact than shell — the
+	// paper's motivation for higher-level deployment languages (§III.C).
+	if dsSF[0].Bundle.TotalLines(Script) >= dsShell[0].Bundle.TotalLines(Script) {
+		t.Fatalf("smartfrog rendering should be more compact: %d vs %d lines",
+			dsSF[0].Bundle.TotalLines(Script), dsShell[0].Bundle.TotalLines(Script))
+	}
+}
+
+func TestSfIdent(t *testing.T) {
+	if sfIdent("rubis-test") != "rubis_test" {
+		t.Fatalf("sfIdent = %q", sfIdent("rubis-test"))
+	}
+	if sfIdent("") != "unnamed" {
+		t.Fatalf("empty ident = %q", sfIdent(""))
+	}
+}

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders series as an ASCII line chart with axes, for terminal
+// inspection of the figures (the CSV outputs feed real plotting tools).
+// Each series is drawn with its own glyph; failed points are skipped,
+// leaving visible gaps like the paper's incomplete-experiment squares.
+type Plot struct {
+	title  string
+	xLabel string
+	yLabel string
+	width  int
+	height int
+	series []Series
+}
+
+// NewPlot creates a plot canvas. Width and height are clamped to sane
+// terminal sizes.
+func NewPlot(title, xLabel, yLabel string, width, height int) *Plot {
+	if width < 24 {
+		width = 24
+	}
+	if width > 160 {
+		width = 160
+	}
+	if height < 6 {
+		height = 6
+	}
+	if height > 48 {
+		height = 48
+	}
+	return &Plot{title: title, xLabel: xLabel, yLabel: yLabel, width: width, height: height}
+}
+
+// Add appends a series to the plot.
+func (p *Plot) Add(s Series) { p.series = append(p.series, s) }
+
+// glyphs assigns one mark per series.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// String renders the chart.
+func (p *Plot) String() string {
+	// Collect the data range over OK points.
+	var xs, ys []float64
+	for _, s := range p.series {
+		for _, pt := range s.Points {
+			if pt.OK {
+				xs = append(xs, pt.X)
+				ys = append(ys, pt.Y)
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return p.title + "\n(no data)\n"
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if ymin > 0 {
+		ymin = 0 // anchor response-time style plots at zero
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, p.height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(p.width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= p.width {
+			c = p.width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(p.height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= p.height {
+			r = p.height - 1
+		}
+		return p.height - 1 - r // invert: row 0 is the top
+	}
+	for si, s := range p.series {
+		g := glyphs[si%len(glyphs)]
+		pts := make([]SeriesPointAlias, 0, len(s.Points))
+		for _, pt := range s.Points {
+			if pt.OK {
+				pts = append(pts, SeriesPointAlias{pt.X, pt.Y})
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		// Mark the points and a coarse line between neighbours.
+		for i, pt := range pts {
+			grid[row(pt.Y)][col(pt.X)] = g
+			if i > 0 {
+				interpolate(grid, col(pts[i-1].X), row(pts[i-1].Y), col(pt.X), row(pt.Y))
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.title)
+	yTop := fmt.Sprintf("%.0f", ymax)
+	yBot := fmt.Sprintf("%.0f", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", margin)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yTop)
+		case p.height - 1:
+			label = fmt.Sprintf("%*s", margin, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", p.width))
+	xTop := fmt.Sprintf("%.0f", xmin)
+	xEnd := fmt.Sprintf("%.0f", xmax)
+	pad := p.width - len(xTop) - len(xEnd)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s  (%s)\n", strings.Repeat(" ", margin),
+		xTop, strings.Repeat(" ", pad), xEnd, p.xLabel)
+	// Legend.
+	for si, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	if p.yLabel != "" {
+		fmt.Fprintf(&b, "  y: %s\n", p.yLabel)
+	}
+	return b.String()
+}
+
+// SeriesPointAlias is a plain (x, y) pair used internally by the plotter.
+type SeriesPointAlias struct{ X, Y float64 }
+
+// interpolate draws a coarse segment between two grid cells with '.' so
+// line trends are visible without overwriting data marks.
+func interpolate(grid [][]byte, c0, r0, c1, r1 int) {
+	steps := abs(c1-c0) + abs(r1-r0)
+	if steps == 0 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"elba/internal/store"
+)
+
+func plotSeries() Series {
+	return Series{Name: "1-1-1", Points: []store.SeriesPoint{
+		{X: 100, Y: 50, OK: true},
+		{X: 200, Y: 100, OK: true},
+		{X: 300, Y: 400, OK: true},
+		{X: 400, Y: 0, OK: false}, // failed trial: gap
+	}}
+}
+
+func TestPlotRendersMarksAndLegend(t *testing.T) {
+	p := NewPlot("Figure 5", "users", "ms", 40, 10)
+	p.Add(plotSeries())
+	out := p.String()
+	if !strings.HasPrefix(out, "Figure 5\n") {
+		t.Fatalf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("data marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* 1-1-1") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(users)") || !strings.Contains(out, "y: ms") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	// Axis bounds: y max 400, x from 100 to 300 (the failed point is
+	// excluded from the range).
+	if !strings.Contains(out, "400 |") {
+		t.Fatalf("y max label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100") || !strings.Contains(out, "300") {
+		t.Fatalf("x labels missing:\n%s", out)
+	}
+	if strings.Contains(out, "400  (users)") {
+		t.Fatalf("failed point should not extend the x axis:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesDistinctGlyphs(t *testing.T) {
+	p := NewPlot("F", "x", "y", 40, 8)
+	p.Add(plotSeries())
+	s2 := plotSeries()
+	s2.Name = "1-2-1"
+	for i := range s2.Points {
+		s2.Points[i].Y /= 2
+	}
+	p.Add(s2)
+	out := p.String()
+	if !strings.Contains(out, "* 1-1-1") || !strings.Contains(out, "o 1-2-1") {
+		t.Fatalf("glyph assignment wrong:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("Empty", "x", "y", 40, 8)
+	out := p.String()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot should say so:\n%s", out)
+	}
+	// Series with only failed points is also empty.
+	p.Add(Series{Name: "s", Points: []store.SeriesPoint{{X: 1, Y: 1, OK: false}}})
+	if !strings.Contains(p.String(), "(no data)") {
+		t.Fatalf("failed-only series should be empty")
+	}
+}
+
+func TestPlotClampsDimensions(t *testing.T) {
+	p := NewPlot("T", "x", "y", 1, 1)
+	p.Add(plotSeries())
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	if len(lines) < 8 {
+		t.Fatalf("clamped plot too small:\n%s", out)
+	}
+	big := NewPlot("T", "x", "y", 10000, 10000)
+	big.Add(plotSeries())
+	if w := len(strings.Split(big.String(), "\n")[1]); w > 200 {
+		t.Fatalf("width not clamped: %d", w)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	p := NewPlot("T", "x", "y", 30, 6)
+	p.Add(Series{Name: "point", Points: []store.SeriesPoint{{X: 5, Y: 5, OK: true}}})
+	out := p.String()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point should render:\n%s", out)
+	}
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"elba/internal/metrics"
+)
+
+// RequestRecord is the driver's log entry for one completed request, the
+// simulated equivalent of the client emulator's response-time log.
+type RequestRecord struct {
+	// Issued is the simulated time the request was sent.
+	Issued float64
+	// RT is the response time in seconds.
+	RT float64
+	// Interaction names the interaction performed.
+	Interaction string
+	// Outcome is the request's final disposition.
+	Outcome Outcome
+	// TimedOut marks requests that completed after the client timeout.
+	TimedOut bool
+}
+
+// DriverConfig parameterizes the closed-loop client driver. Mulini
+// generates these values from the TBL workload section.
+type DriverConfig struct {
+	// Users is the number of concurrent emulated users.
+	Users int
+	// Timeout is the client-side response timeout in seconds; responses
+	// slower than this are counted as errors (0 disables).
+	Timeout float64
+	// RampUp spreads session starts uniformly over this many seconds so
+	// all users do not fire their first request at the same instant.
+	RampUp float64
+	// MaxSessions caps the number of users the deployment can hold
+	// persistent connections for (application-server MaxClients × app
+	// servers, with mod_jk sticky sessions). Users beyond the cap get
+	// connection-refused on every request, which is how overloaded small
+	// configurations fail to complete experiments (paper Table 7's
+	// missing squares). 0 disables the cap.
+	MaxSessions int
+}
+
+// Driver emulates a population of users in a closed loop: think, issue the
+// session's next interaction, wait for the response, repeat. It records
+// response times and outcomes for the measurement window.
+type Driver struct {
+	k     *Kernel
+	app   *NTier
+	model Model
+	cfg   DriverConfig
+	rng   *rand.Rand
+
+	measuring bool
+	records   []RequestRecord
+	issued    int64
+	completed int64
+	errors    int64
+	timeouts  int64
+
+	nextID  int
+	stopped map[int]bool
+	active  int
+
+	rtSample *metrics.Sample
+	perIx    map[string]*metrics.Summary
+}
+
+// NewDriver creates a driver for users of the given workload model against
+// app. The driver draws all randomness from its own PCG stream seeded from
+// seed so concurrent trials never share state.
+func NewDriver(k *Kernel, app *NTier, model Model, cfg DriverConfig, seed uint64) *Driver {
+	return &Driver{
+		k:        k,
+		app:      app,
+		model:    model,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewPCG(seed, seed^0xdeadbeefcafef00d)),
+		rtSample: metrics.NewSample(4096),
+		perIx:    make(map[string]*metrics.Summary),
+		stopped:  map[int]bool{},
+	}
+}
+
+// Start launches all user sessions. Call before Kernel.Run.
+func (d *Driver) Start() {
+	for i := 0; i < d.cfg.Users; i++ {
+		delay := 0.0
+		if d.cfg.RampUp > 0 {
+			delay = d.rng.Float64() * d.cfg.RampUp
+		}
+		if d.cfg.MaxSessions > 0 && i >= d.cfg.MaxSessions {
+			// No connection slot: this user's requests are refused.
+			sess := d.model.NewSession(d.rng)
+			d.k.Schedule(delay, func() { d.refusedLoop(sess) })
+			continue
+		}
+		sess := d.model.NewSession(d.rng)
+		id := d.nextID
+		d.nextID++
+		d.active++
+		d.k.Schedule(delay, func() { d.userLoop(id, sess) })
+	}
+}
+
+// ActiveUsers reports the number of live user sessions.
+func (d *Driver) ActiveUsers() int { return d.active }
+
+// AddUsers grows the population mid-run by n sessions, modelling workload
+// evolution (a traffic surge arriving at a running deployment). New users
+// ramp in over rampUp seconds. Session caps do not apply to late joiners;
+// callers modelling capped servers should size the initial population
+// instead.
+func (d *Driver) AddUsers(n int, rampUp float64) {
+	for i := 0; i < n; i++ {
+		sess := d.model.NewSession(d.rng)
+		id := d.nextID
+		d.nextID++
+		d.active++
+		delay := 0.0
+		if rampUp > 0 {
+			delay = d.rng.Float64() * rampUp
+		}
+		d.k.Schedule(delay, func() { d.userLoop(id, sess) })
+	}
+}
+
+// RemoveUsers retires n of the most recently added live sessions: each
+// finishes its in-flight request (if any) and leaves instead of thinking
+// again.
+func (d *Driver) RemoveUsers(n int) {
+	for id := d.nextID - 1; id >= 0 && n > 0; id-- {
+		if !d.stopped[id] {
+			d.stopped[id] = true
+			d.active--
+			n--
+		}
+	}
+}
+
+// refusedLoop emulates a user whose connection attempts are refused: each
+// think period ends in an immediate error, like a browser hitting a full
+// accept queue.
+func (d *Driver) refusedLoop(sess Session) {
+	think := d.k.Exp(d.model.ThinkTime())
+	d.k.Schedule(think, func() {
+		it := sess.Next(d.rng)
+		d.issued++
+		d.complete(it, d.k.Now(), 0, Rejected)
+		d.refusedLoop(sess)
+	})
+}
+
+// userLoop performs one think + request cycle and reschedules itself
+// until the session is retired.
+func (d *Driver) userLoop(id int, sess Session) {
+	if d.stopped[id] {
+		return
+	}
+	think := d.k.Exp(d.model.ThinkTime())
+	d.k.Schedule(think, func() {
+		if d.stopped[id] {
+			return
+		}
+		it := sess.Next(d.rng)
+		issued := d.k.Now()
+		d.issued++
+		d.app.ServeSession(id, it, func(out Outcome) {
+			rt := d.k.Now() - issued
+			d.complete(it, issued, rt, out)
+			// Closed loop: the user starts thinking again immediately,
+			// whatever the outcome (a real emulator retries after errors).
+			d.userLoop(id, sess)
+		})
+	})
+}
+
+func (d *Driver) complete(it Interaction, issued, rt float64, out Outcome) {
+	d.completed++
+	timedOut := d.cfg.Timeout > 0 && rt > d.cfg.Timeout
+	if d.measuring {
+		rec := RequestRecord{Issued: issued, RT: rt, Interaction: it.Name, Outcome: out, TimedOut: timedOut}
+		d.records = append(d.records, rec)
+		if out == OK && !timedOut {
+			d.rtSample.Observe(rt)
+			s := d.perIx[it.Name]
+			if s == nil {
+				s = &metrics.Summary{}
+				d.perIx[it.Name] = s
+			}
+			s.Observe(rt)
+		}
+	}
+	if out != OK || timedOut {
+		d.errors++
+		if timedOut {
+			d.timeouts++
+		}
+	}
+}
+
+// BeginMeasurement starts recording requests; the trial runner calls this
+// at the end of the warm-up period.
+func (d *Driver) BeginMeasurement() {
+	d.measuring = true
+	d.records = d.records[:0]
+	d.rtSample.Reset()
+	d.perIx = make(map[string]*metrics.Summary)
+	d.errors = 0
+	d.timeouts = 0
+}
+
+// EndMeasurement stops recording.
+func (d *Driver) EndMeasurement() { d.measuring = false }
+
+// Records returns the measured request log (shared, not copied).
+func (d *Driver) Records() []RequestRecord { return d.records }
+
+// ResponseTimes returns the sample of successful response times measured.
+func (d *Driver) ResponseTimes() *metrics.Sample { return d.rtSample }
+
+// PerInteraction returns response-time summaries keyed by interaction name.
+func (d *Driver) PerInteraction() map[string]*metrics.Summary { return d.perIx }
+
+// Issued reports the total number of requests sent since Start.
+func (d *Driver) Issued() int64 { return d.issued }
+
+// Errors reports rejected, failed, or timed-out requests during the
+// measurement window.
+func (d *Driver) Errors() int64 { return d.errors }
+
+// Timeouts reports requests exceeding the client timeout during the
+// measurement window.
+func (d *Driver) Timeouts() int64 { return d.timeouts }

@@ -1,0 +1,133 @@
+// Package sim implements the discrete-event simulation substrate on which
+// Elba experiments run in place of a physical cluster. It provides an
+// event kernel, multi-server queueing stations with frequency-scaled
+// service rates, tiers with pluggable load balancing, a C-JDBC-style
+// RAIDb-1 replicated database tier, and a closed-loop client driver that
+// executes benchmark workload models.
+//
+// The design follows the paper's measurement setting: a closed queueing
+// network where each emulated user alternates between thinking and issuing
+// an interaction that traverses web, application, and database tiers. All
+// state lives inside the kernel; no goroutines are used, so trials are
+// fully deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+)
+
+// event is a scheduled callback. Events at the same instant fire in
+// schedule order (seq breaks ties), keeping runs deterministic.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulation executive. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	rng    *rand.Rand
+	fired  int64
+}
+
+// NewKernel creates a kernel whose random stream is seeded
+// deterministically from seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Now reports the current simulated time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Events reports how many events have fired so far, which the benchmarks
+// use as a work metric.
+func (k *Kernel) Events() int64 { return k.fired }
+
+// Rand exposes the kernel's deterministic random stream.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Schedule arranges for fn to run delay seconds from now. A negative delay
+// is treated as zero (run as soon as the current event completes).
+func (k *Kernel) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// Run executes events until the simulated clock reaches until seconds or
+// no events remain. The clock is left at until (or at the last event time
+// when the queue empties first).
+func (k *Kernel) Run(until float64) {
+	for len(k.events) > 0 {
+		next := k.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.events)
+		k.now = next.at
+		k.fired++
+		next.fn()
+	}
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// Step executes exactly one pending event and reports whether one existed.
+// It is intended for tests that need fine-grained control.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	next := heap.Pop(&k.events).(*event)
+	k.now = next.at
+	k.fired++
+	next.fn()
+	return true
+}
+
+// Pending reports the number of scheduled events not yet fired.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Exp draws an exponentially distributed duration with the given mean. A
+// non-positive mean yields zero, which callers use for deterministic
+// (zero-demand) steps.
+func (k *Kernel) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return k.rng.ExpFloat64() * mean
+}
+
+// String describes the kernel state for debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{now=%.3fs pending=%d fired=%d}", k.now, len(k.events), k.fired)
+}

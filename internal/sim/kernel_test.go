@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.Schedule(2.0, func() { order = append(order, 2) })
+	k.Schedule(1.0, func() { order = append(order, 1) })
+	k.Schedule(3.0, func() { order = append(order, 3) })
+	k.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("clock should advance to until: %g", k.Now())
+	}
+}
+
+func TestKernelFIFOTieBreak(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Schedule(1.0, func() { order = append(order, i) })
+	}
+	k.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelRunStopsAtUntil(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.Schedule(5.0, func() { fired = true })
+	k.Run(4.9)
+	if fired {
+		t.Fatalf("event beyond until fired")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run(5.0)
+	if !fired {
+		t.Fatalf("event at until should fire")
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(0.01, chain)
+		}
+	}
+	k.Schedule(0, chain)
+	k.Run(100)
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if got := k.Events(); got != 100 {
+		t.Fatalf("fired = %d, want 100", got)
+	}
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := NewKernel(1)
+	k.Run(5) // advance clock
+	ran := false
+	k.Schedule(-3, func() { ran = true })
+	k.Step()
+	if !ran {
+		t.Fatalf("negative-delay event should run immediately")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("negative delay moved clock backwards: %g", k.Now())
+	}
+}
+
+func TestKernelStep(t *testing.T) {
+	k := NewKernel(1)
+	if k.Step() {
+		t.Fatalf("Step on empty kernel should report false")
+	}
+	k.Schedule(1, func() {})
+	if !k.Step() {
+		t.Fatalf("Step should fire the pending event")
+	}
+}
+
+func TestKernelExp(t *testing.T) {
+	k := NewKernel(42)
+	if k.Exp(0) != 0 || k.Exp(-1) != 0 {
+		t.Fatalf("non-positive mean must yield 0")
+	}
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += k.Exp(2.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-2.0) > 0.1 {
+		t.Fatalf("Exp mean = %g, want ≈2.0", mean)
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	run := func() []float64 {
+		k := NewKernel(7)
+		var out []float64
+		var loop func()
+		loop = func() {
+			out = append(out, k.Now())
+			if len(out) < 50 {
+				k.Schedule(k.Exp(1.0), loop)
+			}
+		}
+		k.Schedule(0, loop)
+		k.Run(1e9)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: the clock never moves backwards no matter how events are
+// scheduled.
+func TestKernelMonotoneClockProperty(t *testing.T) {
+	f := func(delays []float64) bool {
+		k := NewKernel(3)
+		last := 0.0
+		monotone := true
+		for _, d := range delays {
+			d := math.Mod(math.Abs(d), 100)
+			k.Schedule(d, func() {
+				if k.Now() < last {
+					monotone = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run(1000)
+		return monotone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

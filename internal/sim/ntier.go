@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// NTier is an assembled n-tier application deployment: a web tier that
+// distributes requests, a replicated application tier, and a RAIDb-1
+// database tier. It routes one Interaction through the tiers and reports
+// the end-to-end outcome.
+//
+// The request path matches the benchmarks' architecture: every
+// interaction passes the web tier, then the application tier; the
+// application issues one database operation (read or write) and finishes
+// the reply. The web tier does little work — the paper notes it "performs
+// as the workload distributor and does very little work" — but it is
+// modelled so its non-bottleneck status is an observed result rather than
+// an assumption.
+type NTier struct {
+	Web *Tier
+	App *Tier
+	DB  *RAIDb
+	// StickyApp enables mod_jk-style session affinity: each user session
+	// is pinned to one application server instead of being balanced per
+	// request. The affinity ablation compares both modes.
+	StickyApp bool
+}
+
+// Outcome reports how a request ended.
+type Outcome int
+
+// Request outcomes. Rejected requests were refused by a connection pool;
+// Failed requests had a replica error during a broadcast write.
+const (
+	OK Outcome = iota
+	Rejected
+	Failed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Rejected:
+		return "rejected"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Serve routes one interaction through web → app → db and calls done with
+// the outcome, balancing the app tier per request.
+func (nt *NTier) Serve(it Interaction, done func(Outcome)) {
+	nt.ServeSession(-1, it, done)
+}
+
+// ServeSession routes one interaction for the given user session.
+// Response time is measured by the caller (the driver) from submit to
+// completion; ServeSession itself adds no hidden delays. When StickyApp
+// is set and session >= 0, the app tier uses the session's pinned server.
+func (nt *NTier) ServeSession(session int, it Interaction, done func(Outcome)) {
+	submitApp := nt.App.Submit
+	if nt.StickyApp && session >= 0 {
+		submitApp = func(demand float64, d Completion) {
+			nt.App.SubmitPinned(session, demand, d)
+		}
+	}
+	nt.Web.Submit(it.WebDemand, func(ok bool, _, _ float64) {
+		if !ok {
+			done(Rejected)
+			return
+		}
+		submitApp(it.AppDemand, func(ok bool, _, _ float64) {
+			if !ok {
+				done(Rejected)
+				return
+			}
+			dbDone := func(ok bool, _, _ float64) {
+				if !ok {
+					done(Failed)
+					return
+				}
+				done(OK)
+			}
+			if it.Write {
+				nt.DB.Write(it.DBDemand, dbDone)
+			} else {
+				nt.DB.Read(it.DBDemand, dbDone)
+			}
+		})
+	})
+}
+
+// ResetAccounting resets counters on all tiers.
+func (nt *NTier) ResetAccounting() {
+	nt.Web.ResetAccounting()
+	nt.App.ResetAccounting()
+	nt.DB.ResetAccounting()
+}
+
+// Topology reports the (web, app, db) replica counts, the paper's w-a-d
+// triple.
+func (nt *NTier) Topology() (web, app, db int) {
+	return nt.Web.Size(), nt.App.Size(), nt.DB.Size()
+}

@@ -1,0 +1,106 @@
+package sim
+
+import "fmt"
+
+// RAIDb models a C-JDBC RAIDb-1 (full replication) database cluster, the
+// configuration the paper's generated mysqldb-raidb1-elba.xml file
+// describes. Reads are load-balanced across replicas; writes are broadcast
+// to every replica and complete when the slowest replica finishes.
+//
+// This asymmetry is what produces the paper's sub-linear database
+// scale-out: with write fraction w and d replicas, per-replica demand per
+// request is w·Dw + (1−w)·Dr/d, so capacity grows by 1/(w + (1−w)/d)
+// rather than d.
+type RAIDb struct {
+	k        *Kernel
+	replicas []*Station
+	policy   BalancerPolicy
+	next     int
+}
+
+// NewRAIDb creates a replicated DB tier over the given replica stations.
+func NewRAIDb(k *Kernel, policy BalancerPolicy, replicas []*Station) *RAIDb {
+	if len(replicas) == 0 {
+		panic("sim: RAIDb needs at least one replica")
+	}
+	return &RAIDb{k: k, replicas: replicas, policy: policy}
+}
+
+// Replicas returns the backing stations (shared, not copied).
+func (r *RAIDb) Replicas() []*Station { return r.replicas }
+
+// Size reports the number of replicas.
+func (r *RAIDb) Size() int { return len(r.replicas) }
+
+func (r *RAIDb) pickRead() *Station {
+	switch r.policy {
+	case LeastConnections:
+		best := r.replicas[0]
+		for _, s := range r.replicas[1:] {
+			if s.InFlight() < best.InFlight() {
+				best = s
+			}
+		}
+		return best
+	case RandomPick:
+		return r.replicas[r.k.Rand().IntN(len(r.replicas))]
+	default:
+		s := r.replicas[r.next%len(r.replicas)]
+		r.next++
+		return s
+	}
+}
+
+// Read dispatches a read query to one replica.
+func (r *RAIDb) Read(demand float64, done Completion) {
+	r.pickRead().Submit(demand, done)
+}
+
+// Write broadcasts a write to every replica; done fires once, when the
+// slowest replica has applied it (or immediately with ok=false if any
+// replica rejects). Rejection by one replica does not cancel the others —
+// like the real controller, the broadcast has already been issued — but
+// the request is reported failed.
+func (r *RAIDb) Write(demand float64, done Completion) {
+	remaining := len(r.replicas)
+	allOK := true
+	var maxWait, maxSvc float64
+	for _, rep := range r.replicas {
+		rep.Submit(demand, func(ok bool, wait, service float64) {
+			remaining--
+			if !ok {
+				allOK = false
+			}
+			if wait > maxWait {
+				maxWait = wait
+			}
+			if service > maxSvc {
+				maxSvc = service
+			}
+			if remaining == 0 {
+				done(allOK, maxWait, maxSvc)
+			}
+		})
+	}
+}
+
+// Completed sums completed queries across replicas.
+func (r *RAIDb) Completed() int64 {
+	var n int64
+	for _, s := range r.replicas {
+		n += s.Completed()
+	}
+	return n
+}
+
+// ResetAccounting resets counters on every replica.
+func (r *RAIDb) ResetAccounting() {
+	for _, s := range r.replicas {
+		s.ResetAccounting()
+	}
+}
+
+// String describes the cluster for logs.
+func (r *RAIDb) String() string {
+	return fmt.Sprintf("RAIDb-1[%d replicas, %s reads]", len(r.replicas), r.policy)
+}

@@ -1,0 +1,198 @@
+package sim
+
+import "fmt"
+
+// Completion receives the outcome of a submitted job. ok is false when the
+// station rejected the job (queue limit exceeded); wait and service report
+// the time the job spent queued and in service, in seconds.
+type Completion func(ok bool, wait, service float64)
+
+// Station models one host resource (a server process bound to a node CPU)
+// as a multi-server FCFS queue. Service demands are specified at a
+// reference CPU frequency and divided by the station's speed factor, so a
+// 600 MHz node (speed 0.2 against a 3 GHz reference) serves the same
+// demand five times slower.
+//
+// A station optionally enforces a capacity limit on concurrently held
+// jobs (in service + queued), modelling a server's connection/thread pool;
+// jobs arriving beyond the limit are rejected. This is what makes
+// overload experiments fail to complete, as the paper observes for small
+// configurations at high load (Table 7's missing squares).
+type Station struct {
+	k       *Kernel
+	name    string
+	servers int
+	speed   float64
+	maxJobs int // 0 = unlimited
+	detSvc  bool
+
+	busy   int
+	queue  []pendingJob
+	failed bool
+
+	// accounting
+	busyTime   float64 // integral of busy servers over time, in server-seconds
+	lastChange float64
+	completed  int64
+	rejected   int64
+	queuedPeak int
+}
+
+type pendingJob struct {
+	demand  float64
+	arrived float64
+	done    Completion
+}
+
+// StationConfig configures a Station.
+type StationConfig struct {
+	// Name identifies the station in monitor output, e.g. "APP1".
+	Name string
+	// Servers is the number of parallel servers (CPU cores × processes).
+	Servers int
+	// Speed is the node's CPU frequency relative to the 3 GHz reference.
+	Speed float64
+	// MaxJobs caps concurrently held jobs (0 = unlimited).
+	MaxJobs int
+	// Deterministic disables exponential service-time sampling; demands
+	// are served exactly. Used by tests and by ablation benches.
+	Deterministic bool
+}
+
+// NewStation creates a station attached to kernel k. Invalid configuration
+// (no servers, non-positive speed) panics: stations are constructed from
+// validated deployment plans, so this indicates a bug.
+func NewStation(k *Kernel, cfg StationConfig) *Station {
+	if cfg.Servers <= 0 {
+		panic(fmt.Sprintf("sim: station %q needs at least one server", cfg.Name))
+	}
+	if cfg.Speed <= 0 {
+		panic(fmt.Sprintf("sim: station %q needs positive speed", cfg.Name))
+	}
+	return &Station{
+		k:       k,
+		name:    cfg.Name,
+		servers: cfg.Servers,
+		speed:   cfg.Speed,
+		maxJobs: cfg.MaxJobs,
+		detSvc:  cfg.Deterministic,
+	}
+}
+
+// Name reports the station's identifier.
+func (s *Station) Name() string { return s.name }
+
+// Servers reports the number of parallel servers.
+func (s *Station) Servers() int { return s.servers }
+
+// InFlight reports jobs currently queued or in service.
+func (s *Station) InFlight() int { return s.busy + len(s.queue) }
+
+// Completed reports the number of jobs served to completion.
+func (s *Station) Completed() int64 { return s.completed }
+
+// Rejected reports the number of jobs refused due to the capacity limit.
+func (s *Station) Rejected() int64 { return s.rejected }
+
+// QueuedPeak reports the largest queue length observed.
+func (s *Station) QueuedPeak() int { return s.queuedPeak }
+
+// Fail takes the station out of service: every subsequent submission is
+// refused until Recover. Jobs already queued or in service complete
+// normally, modelling a server whose accept queue is closed (crash-stop
+// of the listener) rather than a power failure. The failure-injection
+// experiments use this to observe how the deployment degrades.
+func (s *Station) Fail() { s.failed = true }
+
+// Recover returns a failed station to service.
+func (s *Station) Recover() { s.failed = false }
+
+// Failed reports whether the station is out of service.
+func (s *Station) Failed() bool { return s.failed }
+
+// Submit offers a job with the given reference demand (seconds at the
+// reference frequency). done is invoked exactly once: immediately with
+// ok=false on rejection, or at service completion with ok=true.
+func (s *Station) Submit(demand float64, done Completion) {
+	if s.failed {
+		s.rejected++
+		done(false, 0, 0)
+		return
+	}
+	if s.maxJobs > 0 && s.busy+len(s.queue) >= s.maxJobs {
+		s.rejected++
+		done(false, 0, 0)
+		return
+	}
+	j := pendingJob{demand: demand, arrived: s.k.Now(), done: done}
+	if s.busy < s.servers {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.queuedPeak {
+		s.queuedPeak = len(s.queue)
+	}
+}
+
+func (s *Station) start(j pendingJob) {
+	s.accumulate()
+	s.busy++
+	svc := j.demand / s.speed
+	if !s.detSvc {
+		svc = s.k.Exp(svc)
+	}
+	wait := s.k.Now() - j.arrived
+	s.k.Schedule(svc, func() {
+		s.accumulate()
+		s.busy--
+		s.completed++
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.start(next)
+		}
+		j.done(true, wait, svc)
+	})
+}
+
+// accumulate folds busy-server time since the last state change into the
+// busy-time integral.
+func (s *Station) accumulate() {
+	now := s.k.Now()
+	s.busyTime += float64(s.busy) * (now - s.lastChange)
+	s.lastChange = now
+}
+
+// Utilization reports the mean fraction of server capacity busy over
+// [since, now]. It is the signal a monitor's CPU sampler reads.
+func (s *Station) Utilization(since float64) float64 {
+	s.accumulate()
+	dt := s.k.Now() - since
+	if dt <= 0 {
+		return 0
+	}
+	// busyTime counts from t=0; the caller tracks its own window by
+	// sampling BusyTime deltas. Utilization(since) is a convenience for
+	// whole-run windows starting at `since` when no work predates it.
+	return s.busyTime / (dt * float64(s.servers))
+}
+
+// BusyTime reports the cumulative busy server-seconds, for windowed
+// utilization sampling: util = ΔBusyTime / (Δt × servers).
+func (s *Station) BusyTime() float64 {
+	s.accumulate()
+	return s.busyTime
+}
+
+// ResetAccounting clears counters and the busy-time integral without
+// disturbing in-flight work. The trial runner calls this at the end of the
+// warm-up period so measurements cover only the run period.
+func (s *Station) ResetAccounting() {
+	s.accumulate()
+	s.busyTime = 0
+	s.completed = 0
+	s.rejected = 0
+	s.queuedPeak = len(s.queue)
+}

@@ -1,0 +1,118 @@
+package sim
+
+import "fmt"
+
+// BalancerPolicy selects which station in a tier receives the next job.
+type BalancerPolicy int
+
+// Supported balancing policies. RoundRobin matches the paper's Apache
+// mod_jk worker configuration; LeastConnections is provided for the
+// ablation study of balancer sensitivity.
+const (
+	RoundRobin BalancerPolicy = iota
+	LeastConnections
+	RandomPick
+)
+
+// String names the policy for reports.
+func (p BalancerPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case LeastConnections:
+		return "least-connections"
+	case RandomPick:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Tier is a replicated set of stations fronted by a load balancer, such as
+// the application-server tier with a app servers.
+type Tier struct {
+	k        *Kernel
+	name     string
+	stations []*Station
+	policy   BalancerPolicy
+	next     int
+}
+
+// NewTier groups stations under a balancing policy. At least one station
+// is required.
+func NewTier(k *Kernel, name string, policy BalancerPolicy, stations []*Station) *Tier {
+	if len(stations) == 0 {
+		panic(fmt.Sprintf("sim: tier %q needs at least one station", name))
+	}
+	return &Tier{k: k, name: name, stations: stations, policy: policy}
+}
+
+// Name reports the tier name ("web", "app", "db").
+func (t *Tier) Name() string { return t.name }
+
+// Stations returns the tier's stations (shared, not copied).
+func (t *Tier) Stations() []*Station { return t.stations }
+
+// Size reports the number of replicated stations.
+func (t *Tier) Size() int { return len(t.stations) }
+
+// pick selects a station according to the balancing policy.
+func (t *Tier) pick() *Station {
+	switch t.policy {
+	case LeastConnections:
+		best := t.stations[0]
+		for _, s := range t.stations[1:] {
+			if s.InFlight() < best.InFlight() {
+				best = s
+			}
+		}
+		return best
+	case RandomPick:
+		return t.stations[t.k.Rand().IntN(len(t.stations))]
+	default: // RoundRobin
+		s := t.stations[t.next%len(t.stations)]
+		t.next++
+		return s
+	}
+}
+
+// Submit dispatches a job with the given reference demand to one station
+// chosen by the balancing policy.
+func (t *Tier) Submit(demand float64, done Completion) {
+	t.pick().Submit(demand, done)
+}
+
+// SubmitPinned dispatches to the station assigned to affinity key pin,
+// as Apache mod_jk's sticky sessions pin a user's session to one
+// application server.
+func (t *Tier) SubmitPinned(pin int, demand float64, done Completion) {
+	if pin < 0 {
+		pin = -pin
+	}
+	t.stations[pin%len(t.stations)].Submit(demand, done)
+}
+
+// Completed sums completed jobs across the tier's stations.
+func (t *Tier) Completed() int64 {
+	var n int64
+	for _, s := range t.stations {
+		n += s.Completed()
+	}
+	return n
+}
+
+// Rejected sums rejected jobs across the tier's stations.
+func (t *Tier) Rejected() int64 {
+	var n int64
+	for _, s := range t.stations {
+		n += s.Rejected()
+	}
+	return n
+}
+
+// ResetAccounting resets counters on every station in the tier.
+func (t *Tier) ResetAccounting() {
+	for _, s := range t.stations {
+		s.ResetAccounting()
+	}
+}

@@ -1,0 +1,263 @@
+// Package spec implements TBL, the Testbed Language the paper uses as
+// Mulini's input specification (§II). A TBL document declares one or more
+// experiments: the benchmark and platform, the w-a-d topology, the
+// workload sweep (users and write ratio), the trial protocol
+// (warm-up/run/cool-down), service-level objectives, and monitoring
+// configuration. "Simply updating the input TBL specification is enough"
+// to reconfigure and redeploy an experiment — that property is the core
+// of the automation claim, and this package is where it lives.
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Document is a parsed TBL file.
+type Document struct {
+	Experiments []*Experiment
+}
+
+// Find returns the experiment with the given name.
+func (d *Document) Find(name string) (*Experiment, bool) {
+	for _, e := range d.Experiments {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Range is an inclusive numeric sweep: Lo, Lo+Step, ..., Hi. A fixed
+// value is expressed as Lo == Hi with Step 0.
+type Range struct {
+	Lo, Hi, Step float64
+}
+
+// Fixed reports whether the range is a single value.
+func (r Range) Fixed() bool { return r.Lo == r.Hi }
+
+// Values expands the range. A fixed range yields one value.
+func (r Range) Values() []float64 {
+	if r.Fixed() {
+		return []float64{r.Lo}
+	}
+	var out []float64
+	for v := r.Lo; v <= r.Hi+1e-9; v += r.Step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Count reports the number of points the range expands to.
+func (r Range) Count() int { return len(r.Values()) }
+
+// String renders the range in TBL syntax.
+func (r Range) String() string {
+	if r.Fixed() {
+		return trimFloat(r.Lo)
+	}
+	return fmt.Sprintf("%s to %s step %s", trimFloat(r.Lo), trimFloat(r.Hi), trimFloat(r.Step))
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// Topology is the paper's w-a-d triple: replica counts per tier.
+type Topology struct {
+	Web, App, DB int
+}
+
+// String renders the triple the way the paper writes configurations,
+// e.g. "1-8-2".
+func (t Topology) String() string { return fmt.Sprintf("%d-%d-%d", t.Web, t.App, t.DB) }
+
+// Nodes reports the number of server machines the topology occupies.
+func (t Topology) Nodes() int { return t.Web + t.App + t.DB }
+
+// Workload is the experiment's load sweep.
+type Workload struct {
+	// Users sweeps the concurrent-user population.
+	Users Range
+	// WriteRatioPct sweeps the database write ratio in percent (0–90).
+	WriteRatioPct Range
+	// ThinkTimeSec overrides the benchmark's think time (0 = default).
+	ThinkTimeSec float64
+	// TimeoutSec is the client response timeout (0 = default 30 s).
+	TimeoutSec float64
+}
+
+// Trial is the warm-up/run/cool-down protocol (paper §III.B).
+type Trial struct {
+	WarmupSec, RunSec, CooldownSec float64
+}
+
+// Total reports the trial's full wall-clock length in seconds.
+func (t Trial) Total() float64 { return t.WarmupSec + t.RunSec + t.CooldownSec }
+
+// SLO holds the experiment's service-level objectives in milliseconds;
+// zero values are unconstrained.
+type SLO struct {
+	AvgMS float64
+	P90MS float64
+	P99MS float64
+}
+
+// Monitor configures the system-level monitors Mulini generates per host.
+type Monitor struct {
+	// IntervalSec is the sampling interval (sysstat's granularity).
+	IntervalSec float64
+	// Metrics lists the collected metric families: cpu, memory, network,
+	// disk.
+	Metrics []string
+}
+
+// Has reports whether a metric family is enabled.
+func (m Monitor) Has(name string) bool {
+	for _, x := range m.Metrics {
+		if x == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault schedules a service outage during each trial, for failure
+// injection studies: the named role stops accepting work AtSec seconds
+// into the run period and recovers DurationSec later.
+type Fault struct {
+	// Role is the deployment role to fail, e.g. "JONAS1" or "MYSQL2".
+	Role string
+	// AtSec is the outage start, in seconds from the run period's start.
+	AtSec float64
+	// DurationSec is the outage length in seconds.
+	DurationSec float64
+}
+
+// Experiment is one TBL experiment block.
+type Experiment struct {
+	// Name identifies the experiment set, e.g. "rubis-baseline-jonas".
+	Name string
+	// Benchmark is "rubis", "rubbos", or "tpcapp".
+	Benchmark string
+	// Platform names the hardware platform: "warp", "rohan", "emulab".
+	Platform string
+	// AppServer picks the application server for RUBiS ("jonas" or
+	// "weblogic"); empty means the benchmark default.
+	AppServer string
+	// Mix selects a benchmark workload mix where applicable (RUBBoS:
+	// "read-only" or "submission").
+	Mix string
+	// Topology is the w-a-d replica triple. When the experiment sweeps
+	// topologies, Topologies holds every triple and Topology the first.
+	Topology   Topology
+	Topologies []Topology
+	Workload   Workload
+	Trial      Trial
+	SLO        SLO
+	Monitor    Monitor
+	// Allocate maps tier name → node type for platforms with
+	// heterogeneous pools (Emulab's low-end/high-end).
+	Allocate map[string]string
+	// Faults schedules service outages within every trial.
+	Faults []Fault
+	// Repeat runs every workload point this many times with independent
+	// seeds and stores the aggregate with confidence intervals (default 1).
+	Repeat int
+	// Seed makes the experiment's randomness reproducible.
+	Seed uint64
+}
+
+// AllTopologies returns the experiment's topology sweep (at least one).
+func (e *Experiment) AllTopologies() []Topology {
+	if len(e.Topologies) > 0 {
+		return e.Topologies
+	}
+	return []Topology{e.Topology}
+}
+
+// TrialCount reports the number of individual trials the experiment
+// expands to: topologies × user points × write-ratio points.
+func (e *Experiment) TrialCount() int {
+	return len(e.AllTopologies()) * e.Workload.Users.Count() * e.Workload.WriteRatioPct.Count()
+}
+
+// String renders the experiment back to canonical TBL. The output
+// round-trips through Parse.
+func (e *Experiment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment %q {\n", e.Name)
+	fmt.Fprintf(&b, "\tbenchmark %s;\n", e.Benchmark)
+	fmt.Fprintf(&b, "\tplatform %s;\n", e.Platform)
+	if e.AppServer != "" {
+		fmt.Fprintf(&b, "\tappserver %s;\n", e.AppServer)
+	}
+	if e.Mix != "" {
+		fmt.Fprintf(&b, "\tmix %s;\n", e.Mix)
+	}
+	if len(e.Topologies) > 1 {
+		tris := make([]string, len(e.Topologies))
+		for i, t := range e.Topologies {
+			tris[i] = t.String()
+		}
+		fmt.Fprintf(&b, "\ttopologies %s;\n", strings.Join(tris, ", "))
+	} else {
+		t := e.Topology
+		fmt.Fprintf(&b, "\ttopology { web %d; app %d; db %d; }\n", t.Web, t.App, t.DB)
+	}
+	fmt.Fprintf(&b, "\tworkload {\n")
+	fmt.Fprintf(&b, "\t\tusers %s;\n", e.Workload.Users)
+	if !(e.Workload.WriteRatioPct.Fixed() && e.Workload.WriteRatioPct.Lo == 0) || e.Benchmark == "rubis" {
+		fmt.Fprintf(&b, "\t\twriteratio %s;\n", e.Workload.WriteRatioPct)
+	}
+	if e.Workload.ThinkTimeSec > 0 {
+		fmt.Fprintf(&b, "\t\tthinktime %ss;\n", trimFloat(e.Workload.ThinkTimeSec))
+	}
+	if e.Workload.TimeoutSec > 0 {
+		fmt.Fprintf(&b, "\t\ttimeout %ss;\n", trimFloat(e.Workload.TimeoutSec))
+	}
+	fmt.Fprintf(&b, "\t}\n")
+	fmt.Fprintf(&b, "\ttrial { warmup %ss; run %ss; cooldown %ss; }\n",
+		trimFloat(e.Trial.WarmupSec), trimFloat(e.Trial.RunSec), trimFloat(e.Trial.CooldownSec))
+	if e.SLO != (SLO{}) {
+		fmt.Fprintf(&b, "\tslo {")
+		if e.SLO.AvgMS > 0 {
+			fmt.Fprintf(&b, " avg %sms;", trimFloat(e.SLO.AvgMS))
+		}
+		if e.SLO.P90MS > 0 {
+			fmt.Fprintf(&b, " p90 %sms;", trimFloat(e.SLO.P90MS))
+		}
+		if e.SLO.P99MS > 0 {
+			fmt.Fprintf(&b, " p99 %sms;", trimFloat(e.SLO.P99MS))
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	fmt.Fprintf(&b, "\tmonitor { interval %ss; metrics %s; }\n",
+		trimFloat(e.Monitor.IntervalSec), strings.Join(e.Monitor.Metrics, ", "))
+	if len(e.Allocate) > 0 {
+		fmt.Fprintf(&b, "\tallocate {")
+		for _, tier := range []string{"web", "app", "db"} {
+			if nt, ok := e.Allocate[tier]; ok {
+				fmt.Fprintf(&b, " %s %s;", tier, nt)
+			}
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	if len(e.Faults) > 0 {
+		fmt.Fprintf(&b, "\tfaults {")
+		for _, f := range e.Faults {
+			fmt.Fprintf(&b, " %s at %ss for %ss;", f.Role, trimFloat(f.AtSec), trimFloat(f.DurationSec))
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	if e.Repeat > 1 {
+		fmt.Fprintf(&b, "\trepeat %d;\n", e.Repeat)
+	}
+	if e.Seed != 0 {
+		fmt.Fprintf(&b, "\tseed %d;\n", e.Seed)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}

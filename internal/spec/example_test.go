@@ -1,0 +1,53 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"elba/internal/spec"
+)
+
+// Parsing a TBL document yields validated experiments with the paper's
+// defaults filled in.
+func ExampleParse() {
+	doc, err := spec.Parse(`
+experiment "demo" {
+	benchmark rubis;
+	platform  emulab;
+	topologies 1-1-1, 1-2-1;
+	workload  { users 50 to 250 step 50; writeratio 15; }
+}`)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	e := doc.Experiments[0]
+	fmt.Println("name:", e.Name)
+	fmt.Println("app server:", e.AppServer) // defaulted for RUBiS
+	fmt.Println("trial:", e.Trial.WarmupSec, e.Trial.RunSec, e.Trial.CooldownSec)
+	fmt.Println("trials:", e.TrialCount())
+	fmt.Println("db node type:", e.Allocate["db"]) // Emulab default
+	// Output:
+	// name: demo
+	// app server: jonas
+	// trial: 60 300 60
+	// trials: 10
+	// db node type: low-end
+}
+
+// Topology triples use the paper's w-a-d notation.
+func ExampleParseTopology() {
+	t, _ := spec.ParseTopology("1-8-2")
+	fmt.Println(t.Web, t.App, t.DB, "=", t)
+	fmt.Println("machines:", t.Nodes())
+	// Output:
+	// 1 8 2 = 1-8-2
+	// machines: 11
+}
+
+// Ranges expand to the swept values.
+func ExampleRange_Values() {
+	r := spec.Range{Lo: 50, Hi: 200, Step: 50}
+	fmt.Println(r.Values())
+	// Output:
+	// [50 100 150 200]
+}

@@ -1,0 +1,634 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies TBL lexemes.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tString
+	tNumber // may carry a unit suffix: 60s, 300ms, 50
+	tPunct
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("tbl: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (tok, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.scan()
+		}
+	}
+	return tok{kind: tEOF, line: l.line}, nil
+}
+
+func (l *lexer) scan() (tok, error) {
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case c == '"':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return tok{}, l.errf("newline in string")
+			}
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return tok{}, l.errf("unterminated string")
+		}
+		l.pos++
+		return tok{kind: tString, text: l.src[start+1 : l.pos-1], line: l.line}, nil
+	case unicode.IsDigit(rune(c)):
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		// absorb dash-joined digit groups so topology triples like
+		// "1-8-2" stay one token
+		for l.pos+1 < len(l.src) && l.src[l.pos] == '-' && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			l.pos++
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+		}
+		// absorb a unit suffix (s, ms, %)
+		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || l.src[l.pos] == '%') {
+			l.pos++
+		}
+		return tok{kind: tNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		return tok{kind: tIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case strings.ContainsRune("{};,", rune(c)):
+		l.pos++
+		return tok{kind: tPunct, text: string(c), line: l.line}, nil
+	default:
+		return tok{}, l.errf("unexpected character %q", c)
+	}
+}
+
+type parser struct {
+	lx  *lexer
+	tok tok
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("tbl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tPunct || p.tok.text != s {
+		return p.errf("expected %q, found %q", s, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected identifier, found %q", p.tok.text)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+// number parses a bare number (no unit).
+func (p *parser) number() (float64, error) {
+	if p.tok.kind != tNumber {
+		return 0, p.errf("expected number, found %q", p.tok.text)
+	}
+	v, err := strconv.ParseFloat(p.tok.text, 64)
+	if err != nil {
+		return 0, p.errf("invalid number %q (unit not allowed here)", p.tok.text)
+	}
+	return v, p.advance()
+}
+
+// duration parses a number with an s or ms unit into seconds.
+func (p *parser) duration() (float64, error) {
+	if p.tok.kind != tNumber {
+		return 0, p.errf("expected duration, found %q", p.tok.text)
+	}
+	text := p.tok.text
+	var mult float64
+	var digits string
+	switch {
+	case strings.HasSuffix(text, "ms"):
+		mult, digits = 1e-3, strings.TrimSuffix(text, "ms")
+	case strings.HasSuffix(text, "s"):
+		mult, digits = 1, strings.TrimSuffix(text, "s")
+	default:
+		return 0, p.errf("duration %q needs an s or ms unit", text)
+	}
+	v, err := strconv.ParseFloat(digits, 64)
+	if err != nil {
+		return 0, p.errf("invalid duration %q", text)
+	}
+	return v * mult, p.advance()
+}
+
+// millis parses a duration and returns milliseconds.
+func (p *parser) millis() (float64, error) {
+	sec, err := p.duration()
+	return sec * 1000, err
+}
+
+// rangeOrValue parses "N" or "N to M step K", with numbers optionally
+// carrying a % suffix (stripped; values stay in the written unit).
+func (p *parser) rangeOrValue() (Range, error) {
+	lo, err := p.rangeNumber()
+	if err != nil {
+		return Range{}, err
+	}
+	if p.tok.kind == tIdent && p.tok.text == "to" {
+		if err := p.advance(); err != nil {
+			return Range{}, err
+		}
+		hi, err := p.rangeNumber()
+		if err != nil {
+			return Range{}, err
+		}
+		if p.tok.kind != tIdent || p.tok.text != "step" {
+			return Range{}, p.errf("range needs 'step', found %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return Range{}, err
+		}
+		step, err := p.rangeNumber()
+		if err != nil {
+			return Range{}, err
+		}
+		if step <= 0 {
+			return Range{}, p.errf("range step must be positive")
+		}
+		if hi < lo {
+			return Range{}, p.errf("range upper bound %g below lower bound %g", hi, lo)
+		}
+		return Range{Lo: lo, Hi: hi, Step: step}, nil
+	}
+	return Range{Lo: lo, Hi: lo}, nil
+}
+
+func (p *parser) rangeNumber() (float64, error) {
+	if p.tok.kind != tNumber {
+		return 0, p.errf("expected number, found %q", p.tok.text)
+	}
+	text := strings.TrimSuffix(p.tok.text, "%")
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, p.errf("invalid number %q", p.tok.text)
+	}
+	return v, p.advance()
+}
+
+// Parse reads a TBL document.
+func Parse(src string) (*Document, error) {
+	p := &parser{lx: &lexer{src: src, line: 1}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	doc := &Document{}
+	for p.tok.kind != tEOF {
+		if p.tok.kind != tIdent || p.tok.text != "experiment" {
+			return nil, p.errf("expected 'experiment', found %q", p.tok.text)
+		}
+		e, err := p.parseExperiment()
+		if err != nil {
+			return nil, err
+		}
+		doc.Experiments = append(doc.Experiments, e)
+	}
+	if len(doc.Experiments) == 0 {
+		return nil, fmt.Errorf("tbl: document declares no experiments")
+	}
+	return doc, nil
+}
+
+func (p *parser) parseExperiment() (*Experiment, error) {
+	if err := p.advance(); err != nil { // consume "experiment"
+		return nil, err
+	}
+	if p.tok.kind != tString {
+		return nil, p.errf("experiment needs a quoted name")
+	}
+	e := &Experiment{
+		Name:     p.tok.text,
+		Allocate: map[string]string{},
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.parseClause(e, key); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.advance(); err != nil { // consume "}"
+		return nil, err
+	}
+	applyDefaults(e)
+	if err := Validate(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseClause(e *Experiment, key string) error {
+	switch key {
+	case "benchmark":
+		v, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		e.Benchmark = v
+		return p.expectPunct(";")
+	case "platform":
+		v, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		e.Platform = v
+		return p.expectPunct(";")
+	case "appserver":
+		v, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		e.AppServer = v
+		return p.expectPunct(";")
+	case "mix":
+		v, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		e.Mix = v
+		return p.expectPunct(";")
+	case "topology":
+		return p.parseTopology(e)
+	case "topologies":
+		return p.parseTopologies(e)
+	case "workload":
+		return p.parseWorkload(e)
+	case "trial":
+		return p.parseTrial(e)
+	case "slo":
+		return p.parseSLO(e)
+	case "monitor":
+		return p.parseMonitor(e)
+	case "allocate":
+		return p.parseAllocate(e)
+	case "faults":
+		return p.parseFaults(e)
+	case "seed":
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		e.Seed = uint64(v)
+		return p.expectPunct(";")
+	case "repeat":
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		e.Repeat = int(v)
+		return p.expectPunct(";")
+	default:
+		return p.errf("unknown clause %q", key)
+	}
+}
+
+func (p *parser) parseTopology(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		tier, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		n, err := p.number()
+		if err != nil {
+			return err
+		}
+		switch tier {
+		case "web":
+			e.Topology.Web = int(n)
+		case "app":
+			e.Topology.App = int(n)
+		case "db":
+			e.Topology.DB = int(n)
+		default:
+			return p.errf("unknown tier %q", tier)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}
+
+// parseTopologies reads a comma-separated list of w-a-d triples written as
+// identifiers, e.g. "topologies 1-2-1, 1-3-1, 1-4-2;".
+func (p *parser) parseTopologies(e *Experiment) error {
+	for {
+		if p.tok.kind != tNumber && p.tok.kind != tIdent {
+			return p.errf("expected topology triple, found %q", p.tok.text)
+		}
+		t, err := ParseTopology(p.tok.text)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		e.Topologies = append(e.Topologies, t)
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if len(e.Topologies) > 0 {
+		e.Topology = e.Topologies[0]
+	}
+	return p.expectPunct(";")
+}
+
+// ParseTopology parses a "w-a-d" triple such as "1-8-2".
+func ParseTopology(s string) (Topology, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return Topology{}, fmt.Errorf("tbl: topology %q is not a w-a-d triple", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return Topology{}, fmt.Errorf("tbl: topology %q has invalid component %q", s, p)
+		}
+		nums[i] = n
+	}
+	return Topology{Web: nums[0], App: nums[1], DB: nums[2]}, nil
+}
+
+func (p *parser) parseWorkload(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "users":
+			r, err := p.rangeOrValue()
+			if err != nil {
+				return err
+			}
+			e.Workload.Users = r
+		case "writeratio":
+			r, err := p.rangeOrValue()
+			if err != nil {
+				return err
+			}
+			e.Workload.WriteRatioPct = r
+		case "thinktime":
+			v, err := p.duration()
+			if err != nil {
+				return err
+			}
+			e.Workload.ThinkTimeSec = v
+		case "timeout":
+			v, err := p.duration()
+			if err != nil {
+				return err
+			}
+			e.Workload.TimeoutSec = v
+		default:
+			return p.errf("unknown workload key %q", key)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}
+
+func (p *parser) parseTrial(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		v, err := p.duration()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "warmup":
+			e.Trial.WarmupSec = v
+		case "run":
+			e.Trial.RunSec = v
+		case "cooldown":
+			e.Trial.CooldownSec = v
+		default:
+			return p.errf("unknown trial key %q", key)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}
+
+func (p *parser) parseSLO(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		v, err := p.millis()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "avg":
+			e.SLO.AvgMS = v
+		case "p90":
+			e.SLO.P90MS = v
+		case "p99":
+			e.SLO.P99MS = v
+		default:
+			return p.errf("unknown slo key %q", key)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}
+
+func (p *parser) parseMonitor(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "interval":
+			v, err := p.duration()
+			if err != nil {
+				return err
+			}
+			e.Monitor.IntervalSec = v
+		case "metrics":
+			for {
+				m, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				e.Monitor.Metrics = append(e.Monitor.Metrics, m)
+				if p.tok.kind == tPunct && p.tok.text == "," {
+					if err := p.advance(); err != nil {
+						return err
+					}
+					continue
+				}
+				break
+			}
+		default:
+			return p.errf("unknown monitor key %q", key)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}
+
+// parseFaults reads "faults { ROLE at 100s for 60s; ... }".
+func (p *parser) parseFaults(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		role, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if kw != "at" {
+			return p.errf("fault needs 'at', found %q", kw)
+		}
+		at, err := p.duration()
+		if err != nil {
+			return err
+		}
+		kw, err = p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if kw != "for" {
+			return p.errf("fault needs 'for', found %q", kw)
+		}
+		dur, err := p.duration()
+		if err != nil {
+			return err
+		}
+		e.Faults = append(e.Faults, Fault{Role: role, AtSec: at, DurationSec: dur})
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}
+
+func (p *parser) parseAllocate(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		tier, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		nodeType, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		e.Allocate[tier] = nodeType
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	return p.advance()
+}

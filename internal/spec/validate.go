@@ -1,0 +1,160 @@
+package spec
+
+import "fmt"
+
+// Benchmarks supported by the infrastructure.
+var knownBenchmarks = map[string]bool{"rubis": true, "rubbos": true, "tpcapp": true}
+
+// Platforms in the built-in catalog (paper Table 2).
+var knownPlatforms = map[string]bool{"warp": true, "rohan": true, "emulab": true}
+
+// Application servers per benchmark (paper Table 1).
+var knownAppServers = map[string]map[string]bool{
+	"rubis":  {"jonas": true, "weblogic": true},
+	"rubbos": {"tomcat": true},
+	"tpcapp": {"tomcat": true},
+}
+
+// applyDefaults fills the paper's defaults: trial periods per benchmark
+// (§III.B), 5 s monitor sampling, all metric families, 30 s client
+// timeout, and a fixed seed derived from the name for reproducibility.
+func applyDefaults(e *Experiment) {
+	if e.Trial == (Trial{}) {
+		switch e.Benchmark {
+		case "rubbos":
+			// two-and-a-half minute warm-up/cool-down, 15 minute run
+			e.Trial = Trial{WarmupSec: 150, RunSec: 900, CooldownSec: 150}
+		default:
+			// one minute warm-up/cool-down, five minute run
+			e.Trial = Trial{WarmupSec: 60, RunSec: 300, CooldownSec: 60}
+		}
+	}
+	if e.Monitor.IntervalSec == 0 {
+		e.Monitor.IntervalSec = 5
+	}
+	if len(e.Monitor.Metrics) == 0 {
+		e.Monitor.Metrics = []string{"cpu", "memory", "network", "disk"}
+	}
+	if e.Workload.TimeoutSec == 0 {
+		e.Workload.TimeoutSec = 30
+	}
+	if e.Topology == (Topology{}) && len(e.Topologies) == 0 {
+		e.Topology = Topology{Web: 1, App: 1, DB: 1}
+	}
+	if e.Seed == 0 {
+		e.Seed = hashName(e.Name)
+	}
+	if e.Repeat == 0 {
+		e.Repeat = 1
+	}
+	if e.AppServer == "" {
+		switch e.Benchmark {
+		case "rubis":
+			e.AppServer = "jonas"
+		default:
+			e.AppServer = "tomcat"
+		}
+	}
+	if e.Mix == "" && e.Benchmark == "rubbos" {
+		e.Mix = "submission"
+	}
+	if len(e.Allocate) == 0 && e.Platform == "emulab" {
+		// Paper §IV.A: the Emulab database node is the slow 600 MHz host;
+		// web and app servers run on 3 GHz nodes.
+		e.Allocate = map[string]string{"web": "high-end", "app": "high-end", "db": "low-end"}
+	}
+}
+
+// hashName derives a stable 64-bit seed from the experiment name (FNV-1a).
+func hashName(name string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 0x100000001b3
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Validate checks an experiment for structural and semantic errors. Parse
+// validates every experiment it returns; Validate is exported so
+// programmatically built experiments get the same checks.
+func Validate(e *Experiment) error {
+	if e.Name == "" {
+		return fmt.Errorf("tbl: experiment needs a name")
+	}
+	if !knownBenchmarks[e.Benchmark] {
+		return fmt.Errorf("tbl: experiment %q: unknown benchmark %q", e.Name, e.Benchmark)
+	}
+	if !knownPlatforms[e.Platform] {
+		return fmt.Errorf("tbl: experiment %q: unknown platform %q", e.Name, e.Platform)
+	}
+	if e.AppServer != "" && !knownAppServers[e.Benchmark][e.AppServer] {
+		return fmt.Errorf("tbl: experiment %q: app server %q not available for %s",
+			e.Name, e.AppServer, e.Benchmark)
+	}
+	if e.Benchmark == "rubbos" && e.Mix != "read-only" && e.Mix != "submission" {
+		return fmt.Errorf("tbl: experiment %q: rubbos mix must be read-only or submission, got %q",
+			e.Name, e.Mix)
+	}
+	for _, t := range e.AllTopologies() {
+		if t.Web < 1 || t.App < 1 || t.DB < 1 {
+			return fmt.Errorf("tbl: experiment %q: topology %s needs at least one server per tier",
+				e.Name, t)
+		}
+	}
+	if e.Workload.Users.Lo < 1 {
+		return fmt.Errorf("tbl: experiment %q: workload needs at least one user", e.Name)
+	}
+	wr := e.Workload.WriteRatioPct
+	if wr.Lo < 0 || wr.Hi > 90 {
+		return fmt.Errorf("tbl: experiment %q: write ratio %s outside the paper's 0–90%% range",
+			e.Name, wr)
+	}
+	if e.Benchmark == "rubbos" && e.Mix == "read-only" && wr.Hi > 0 {
+		return fmt.Errorf("tbl: experiment %q: read-only mix cannot carry a write ratio", e.Name)
+	}
+	if e.Trial.RunSec <= 0 {
+		return fmt.Errorf("tbl: experiment %q: trial run period must be positive", e.Name)
+	}
+	if e.Trial.WarmupSec < 0 || e.Trial.CooldownSec < 0 {
+		return fmt.Errorf("tbl: experiment %q: trial periods cannot be negative", e.Name)
+	}
+	if e.Monitor.IntervalSec <= 0 {
+		return fmt.Errorf("tbl: experiment %q: monitor interval must be positive", e.Name)
+	}
+	for _, m := range e.Monitor.Metrics {
+		switch m {
+		case "cpu", "memory", "network", "disk":
+		default:
+			return fmt.Errorf("tbl: experiment %q: unknown metric family %q", e.Name, m)
+		}
+	}
+	for tier := range e.Allocate {
+		switch tier {
+		case "web", "app", "db":
+		default:
+			return fmt.Errorf("tbl: experiment %q: allocate names unknown tier %q", e.Name, tier)
+		}
+	}
+	// Repeat 0 means "unset" for programmatically built experiments and
+	// is treated as 1 by the runner.
+	if e.Repeat < 0 || e.Repeat > 100 {
+		return fmt.Errorf("tbl: experiment %q: repeat %d outside 1–100", e.Name, e.Repeat)
+	}
+	for _, f := range e.Faults {
+		if f.Role == "" {
+			return fmt.Errorf("tbl: experiment %q: fault needs a role", e.Name)
+		}
+		if f.AtSec < 0 || f.DurationSec <= 0 {
+			return fmt.Errorf("tbl: experiment %q: fault on %s needs non-negative start and positive duration",
+				e.Name, f.Role)
+		}
+		if f.AtSec+f.DurationSec > e.Trial.RunSec {
+			return fmt.Errorf("tbl: experiment %q: fault on %s extends past the run period", e.Name, f.Role)
+		}
+	}
+	return nil
+}

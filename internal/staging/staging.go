@@ -1,0 +1,310 @@
+// Package staging statically validates Mulini-generated deployment
+// bundles before they run. The Elba project's original application was
+// "validation of staging deployment scripts" (paper §VI); this package is
+// that idea for our bundles: it walks the generated scripts without
+// executing them and reports structural defects — dangling script or
+// artifact references, lifecycle violations (start before install,
+// configure while running), leaked allocations, unreachable artifacts —
+// with script/line provenance.
+//
+// The deploy engine would also surface most of these, but only at the
+// first failing step of an actual run; staging finds every issue at once,
+// cheaply, which is what made script validation worth a research project.
+package staging
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elba/internal/mulini"
+)
+
+// Severity classifies an issue.
+type Severity int
+
+// Issue severities. Errors would abort a deployment; warnings indicate
+// waste or smells (unused artifacts, redundant steps).
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Issue is one validation finding.
+type Issue struct {
+	// Severity classifies the finding.
+	Severity Severity
+	// Script and Line locate it ("" for bundle-level findings).
+	Script string
+	Line   int
+	// Message describes the defect.
+	Message string
+}
+
+// String renders the issue compiler-style.
+func (i Issue) String() string {
+	if i.Script == "" {
+		return fmt.Sprintf("%s: %s", i.Severity, i.Message)
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", i.Script, i.Line, i.Severity, i.Message)
+}
+
+// svcState mirrors the cluster lifecycle for static tracking.
+type svcState int
+
+const (
+	absent svcState = iota
+	installed
+	configured
+	running
+	stopped
+)
+
+// validator walks scripts accumulating simulated state.
+type validator struct {
+	bundle *mulini.Bundle
+	issues []Issue
+
+	allocated map[string]bool
+	services  map[string]map[string]svcState // role → pkg → state
+	visited   map[string]bool                // scripts reached from the entry
+	usedArts  map[string]bool                // artifacts referenced by pushes
+	depth     int
+}
+
+// Validate statically checks a bundle starting from entry (normally
+// "run.sh"), then checks teardown.sh if present, and finally reports
+// bundle-level findings (unreferenced artifacts, unreachable scripts).
+// Issues are ordered errors-first, then by location.
+func Validate(b *mulini.Bundle, entry string) []Issue {
+	v := &validator{
+		bundle:    b,
+		allocated: map[string]bool{},
+		services:  map[string]map[string]svcState{},
+		visited:   map[string]bool{},
+		usedArts:  map[string]bool{},
+	}
+	if _, ok := b.Get(entry); !ok {
+		return []Issue{{Severity: Error, Message: fmt.Sprintf("bundle has no entry script %q", entry)}}
+	}
+	v.walk(entry)
+	// Everything ignited by run.sh should be running at its end.
+	for role, pkgs := range v.services {
+		for pkg, st := range pkgs {
+			if st != running {
+				v.errf("", 0, "after %s: %s on %s is %s, expected running", entry, pkg, role, stateName(st))
+			}
+		}
+	}
+	if _, ok := b.Get("teardown.sh"); ok {
+		v.walk("teardown.sh")
+		for role := range v.allocated {
+			if v.allocated[role] {
+				v.errf("", 0, "after teardown.sh: role %s still allocated", role)
+			}
+		}
+		for role, pkgs := range v.services {
+			for pkg, st := range pkgs {
+				if st == running {
+					v.errf("", 0, "after teardown.sh: %s on %s still running", pkg, role)
+				}
+			}
+		}
+	}
+	// Bundle-level checks.
+	for _, path := range b.Paths() {
+		a, _ := b.Get(path)
+		switch a.Kind {
+		case mulini.Script:
+			if !v.visited[path] {
+				v.warnf("", 0, "script %s is unreachable from %s/teardown.sh", path, entry)
+			}
+		case mulini.Config, mulini.Data:
+			if !v.usedArts[path] {
+				v.warnf("", 0, "artifact %s is never pushed to any node", path)
+			}
+		}
+	}
+	sort.SliceStable(v.issues, func(i, j int) bool {
+		if v.issues[i].Severity != v.issues[j].Severity {
+			return v.issues[i].Severity > v.issues[j].Severity
+		}
+		if v.issues[i].Script != v.issues[j].Script {
+			return v.issues[i].Script < v.issues[j].Script
+		}
+		return v.issues[i].Line < v.issues[j].Line
+	})
+	return v.issues
+}
+
+func stateName(s svcState) string {
+	return [...]string{"absent", "installed", "configured", "running", "stopped"}[s]
+}
+
+func (v *validator) errf(script string, line int, format string, args ...interface{}) {
+	v.issues = append(v.issues, Issue{Severity: Error, Script: script, Line: line,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+func (v *validator) warnf(script string, line int, format string, args ...interface{}) {
+	v.issues = append(v.issues, Issue{Severity: Warning, Script: script, Line: line,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+func (v *validator) walk(path string) {
+	if v.depth > 16 {
+		v.errf(path, 0, "script nesting exceeds 16 levels (recursion?)")
+		return
+	}
+	art, ok := v.bundle.Get(path)
+	if !ok {
+		return // caller reports the dangling reference with its location
+	}
+	v.visited[path] = true
+	v.depth++
+	defer func() { v.depth-- }()
+	for i, raw := range strings.Split(art.Content, "\n") {
+		line := strings.TrimSpace(raw)
+		lineNo := i + 1
+		switch {
+		case strings.HasPrefix(line, "bash "):
+			sub := strings.TrimSpace(strings.TrimPrefix(line, "bash "))
+			if sa, ok := v.bundle.Get(sub); !ok {
+				v.errf(path, lineNo, "references missing script %q", sub)
+			} else if sa.Kind != mulini.Script {
+				v.errf(path, lineNo, "invokes non-script artifact %q", sub)
+			} else {
+				v.walk(sub)
+			}
+		case line == "elbactl" || strings.HasPrefix(line, "elbactl "):
+			v.checkElbactl(path, lineNo, line)
+		}
+	}
+}
+
+func (v *validator) checkElbactl(script string, lineNo int, line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		v.errf(script, lineNo, "malformed elbactl command")
+		return
+	}
+	verb := fields[1]
+	flags := map[string]string{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		flags[strings.TrimPrefix(fields[i], "--")] = strings.Trim(fields[i+1], `"`)
+	}
+	role := flags["role"]
+	if role == "" {
+		v.errf(script, lineNo, "elbactl %s without --role", verb)
+		return
+	}
+	state := func(pkg string) svcState {
+		if v.services[role] == nil {
+			return absent
+		}
+		return v.services[role][pkg]
+	}
+	setState := func(pkg string, st svcState) {
+		if v.services[role] == nil {
+			v.services[role] = map[string]svcState{}
+		}
+		v.services[role][pkg] = st
+	}
+	switch verb {
+	case "allocate":
+		if v.allocated[role] {
+			v.errf(script, lineNo, "role %s allocated twice", role)
+		}
+		v.allocated[role] = true
+	case "release":
+		if !v.allocated[role] {
+			v.errf(script, lineNo, "release of unallocated role %s", role)
+		}
+		v.allocated[role] = false
+	case "install":
+		if !v.allocated[role] {
+			v.errf(script, lineNo, "install on unallocated role %s", role)
+		}
+		pkg := flags["package"]
+		if pkg == "" {
+			v.errf(script, lineNo, "install without --package")
+			return
+		}
+		if state(pkg) != absent {
+			v.errf(script, lineNo, "%s already installed on %s", pkg, role)
+		}
+		setState(pkg, installed)
+	case "configure":
+		pkg := flags["package"]
+		if pkg == "" {
+			v.errf(script, lineNo, "configure without --package")
+			return
+		}
+		switch state(pkg) {
+		case absent:
+			v.errf(script, lineNo, "configure of %s on %s before install", pkg, role)
+		case running:
+			v.errf(script, lineNo, "configure of %s on %s while running", pkg, role)
+		}
+		setState(pkg, configured)
+	case "start":
+		svc := flags["service"]
+		if svc == "" {
+			v.errf(script, lineNo, "start without --service")
+			return
+		}
+		switch state(svc) {
+		case configured, stopped:
+		case running:
+			v.errf(script, lineNo, "%s on %s started twice", svc, role)
+		default:
+			v.errf(script, lineNo, "start of %s on %s from state %s", svc, role, stateName(state(svc)))
+		}
+		setState(svc, running)
+	case "stop":
+		svc := flags["service"]
+		if svc == "" {
+			v.errf(script, lineNo, "stop without --service")
+			return
+		}
+		if state(svc) != running {
+			v.errf(script, lineNo, "stop of %s on %s which is %s", svc, role, stateName(state(svc)))
+		}
+		setState(svc, stopped)
+	case "push":
+		artName := flags["artifact"]
+		if artName == "" || flags["file"] == "" {
+			v.errf(script, lineNo, "push needs --file and --artifact")
+			return
+		}
+		if _, ok := v.bundle.Get(artName); !ok {
+			v.errf(script, lineNo, "push references missing artifact %q", artName)
+			return
+		}
+		v.usedArts[artName] = true
+		if !v.allocated[role] {
+			v.errf(script, lineNo, "push to unallocated role %s", role)
+		}
+	default:
+		v.errf(script, lineNo, "unknown elbactl verb %q", verb)
+	}
+}
+
+// Errors filters the issues to errors only.
+func Errors(issues []Issue) []Issue {
+	var out []Issue
+	for _, i := range issues {
+		if i.Severity == Error {
+			out = append(out, i)
+		}
+	}
+	return out
+}

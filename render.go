@@ -1,0 +1,95 @@
+package elba
+
+import (
+	"elba/internal/report"
+	"elba/internal/staging"
+)
+
+// Rendering helpers: these re-export the report package's table and
+// figure renderers so downstream programs can regenerate every paper
+// artifact from a Characterizer without reaching into internal packages.
+
+// Series is one named line in a multi-series figure.
+type Series = report.Series
+
+// ScaleRow is one experiment set's Table 3 row.
+type ScaleRow = report.ScaleRow
+
+// RenderTable1 renders the software-configuration catalog (paper
+// Table 1).
+func RenderTable1(cat *Catalog) string { return report.Table1Software(cat) }
+
+// RenderTable2 renders the hardware-platform catalog (paper Table 2).
+func RenderTable2(cat *Catalog) string { return report.Table2Hardware(cat) }
+
+// RenderTable3 renders the experiment-scale accounting (paper Table 3).
+func RenderTable3(rows []ScaleRow) string { return report.Table3Scale(rows) }
+
+// RenderTable4 renders generated-script examples (paper Table 4).
+func RenderTable4(b *Bundle) string { return report.Table4Scripts(b) }
+
+// RenderTable5 renders modified-configuration examples (paper Table 5).
+func RenderTable5(b *Bundle) string { return report.Table5Configs(b) }
+
+// RenderSurface renders a users × write-ratio grid (Figures 1–3).
+func RenderSurface(title, unit string, sf Surface) string {
+	return report.SurfaceGrid(title, unit, sf)
+}
+
+// SurfaceCSV renders a surface as CSV.
+func SurfaceCSV(sf Surface) string { return report.SurfaceCSV(sf) }
+
+// RenderSeries renders response-time or utilization lines against a
+// shared x axis (Figures 4–8).
+func RenderSeries(title, xLabel, unit string, series []Series) string {
+	return report.SeriesTable(title, xLabel, unit, series)
+}
+
+// SeriesCSV renders series as CSV.
+func SeriesCSV(xLabel string, series []Series) string {
+	return report.SeriesCSV(xLabel, series)
+}
+
+// SeriesDifference computes the pointwise difference between two series
+// (the Figure 7 transform).
+func SeriesDifference(name string, a, b []SeriesPoint) Series {
+	return report.Difference(name, a, b)
+}
+
+// RenderTable6 renders the response-time improvement grid (paper
+// Table 6).
+func RenderTable6(baseRT float64, appCounts, dbCounts []int, rts map[string]float64) string {
+	return report.Table6Improvement(baseRT, appCounts, dbCounts, rts)
+}
+
+// RenderTable7 renders the throughput grid with failed cells blank
+// (paper Table 7).
+func RenderTable7(st *Store, experiment string, writeRatioPct float64, topologies []string, loads []int) string {
+	return report.Table7Throughput(st, experiment, writeRatioPct, topologies, loads)
+}
+
+// RenderChart renders series as a table plus an ASCII line plot.
+func RenderChart(title, xLabel, unit string, series []Series) string {
+	return report.SeriesChart(title, xLabel, unit, series)
+}
+
+// RenderInteractionBreakdown renders a trial's per-interaction response
+// times, slowest first.
+func RenderInteractionBreakdown(r Result) string {
+	return report.InteractionBreakdown(r)
+}
+
+// StagingIssue is one finding from the static bundle validator.
+type StagingIssue = staging.Issue
+
+// ValidateBundle statically checks a generated bundle the way the Elba
+// project validated staging deployment scripts (paper §VI): lifecycle
+// violations, dangling references, leaked allocations, dead artifacts.
+func ValidateBundle(b *Bundle) []StagingIssue {
+	return staging.Validate(b, "run.sh")
+}
+
+// StagingErrors filters issues to errors only.
+func StagingErrors(issues []StagingIssue) []StagingIssue {
+	return staging.Errors(issues)
+}
