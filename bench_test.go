@@ -774,6 +774,33 @@ func BenchmarkFullTrialPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelTrialSweep runs one deployment's full workload grid
+// through the parallel trial executor (TrialParallel workers, one DES
+// kernel per trial). The stored results are bit-identical to a
+// sequential sweep; the benchmark measures the wall-clock of the
+// parallel path itself.
+func BenchmarkParallelTrialSweep(b *testing.B) {
+	c, err := New(Options{TimeScale: benchScale, TrialParallel: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := spec.Parse(`experiment "parsweep" {
+		benchmark rubis; platform emulab; appserver jonas;
+		workload { users 50 to 200 step 50; writeratio 5 to 15 step 10; }
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := doc.Experiments[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.RunExperiment(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Results().Len()), "grid-points")
+}
+
 var _ = fmt.Sprintf // fmt is used by several benches' failure paths
 
 // BenchmarkAblationDiscipline contrasts FCFS (the calibrated model) with

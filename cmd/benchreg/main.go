@@ -1,0 +1,93 @@
+// Command benchreg turns `go test -bench -benchmem` output into a small
+// JSON report (ns/op, allocs/op, B/op per benchmark) and, given a prior
+// report, compares against it — the repo's benchmark regression harness.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchreg -out BENCH.json
+//	go test -run '^$' -bench . -benchmem ./... | benchreg -baseline BENCH.json -maxratio 1.3
+//
+// With -baseline, benchmarks whose ns/op grew by more than -maxratio (or
+// whose allocs/op grew at all with -strict-allocs) fail the run with a
+// non-zero exit, so CI can gate on performance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"elba/internal/benchreg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchreg", flag.ContinueOnError)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	baseline := fs.String("baseline", "", "prior JSON report to compare against")
+	maxRatio := fs.Float64("maxratio", 1.30, "fail when ns/op exceeds baseline by this factor")
+	strictAllocs := fs.Bool("strict-allocs", false, "fail on any allocs/op increase over baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := benchreg.Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchreg: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+	} else {
+		fmt.Fprintf(stdout, "%s\n", data)
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	base, err := benchreg.Load(*baseline)
+	if err != nil {
+		return err
+	}
+	deltas := benchreg.Compare(base, rep)
+	failed := false
+	for _, d := range deltas {
+		fmt.Fprint(stdout, d.String())
+		if d.Regressed(*maxRatio, *strictAllocs) {
+			failed = true
+			fmt.Fprint(stdout, "  <-- REGRESSION")
+		}
+		fmt.Fprintln(stdout)
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression against %s", *baseline)
+	}
+	return nil
+}

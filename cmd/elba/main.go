@@ -37,6 +37,8 @@ func run(args []string) error {
 	suite := fs.String("suite", "", "run a built-in suite: paper or reduced")
 	archive := fs.String("archive", "", "store raw per-host monitor output under this directory")
 	parallel := fs.Int("parallel", 1, "concurrent deployments per sweep")
+	trialParallel := fs.Int("trialparallel", 1, "concurrent trials per deployment's workload grid (results identical for any value)")
+	seed := fs.Uint64("seed", 0, "root seed mixed into every trial seed (0 = default derivation)")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
@@ -61,8 +63,10 @@ func run(args []string) error {
 	}
 
 	c, err := core.New(core.Options{
-		TimeScale: *timescale,
-		Parallel:  *parallel,
+		TimeScale:     *timescale,
+		Parallel:      *parallel,
+		TrialParallel: *trialParallel,
+		Seed:          *seed,
 		OnTrial: func(r store.Result) {
 			status := "ok"
 			if !r.Completed {

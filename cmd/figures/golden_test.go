@@ -1,0 +1,68 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/figures -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFig1 is the end-to-end regression lock: a reduced fig1 run —
+// full pipeline from TBL parsing through simulation, monitoring, and
+// rendering — must reproduce the committed artifact byte-for-byte. The
+// run uses trial parallelism, so this also guards the determinism of the
+// parallel trial executor through the CLI entry point.
+func TestGoldenFig1(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-reduced", "-timescale", "0.05", "-trialparallel", "2",
+		"-only", "fig1", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig1.txt", "fig1.csv"} {
+		compareGolden(t, filepath.Join(dir, name), filepath.Join("testdata", name+".golden"))
+	}
+}
+
+// TestGoldenStaticTables locks the simulation-free artifacts (catalog and
+// generation tables), which must never drift unless the catalog or the
+// Mulini generator changes deliberately.
+func TestGoldenStaticTables(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-only", "table1,table2,table4,table5", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.txt", "table2.txt", "table4.txt", "table5.txt"} {
+		compareGolden(t, filepath.Join(dir, name), filepath.Join("testdata", name+".golden"))
+	}
+}
+
+func compareGolden(t *testing.T, gotPath, goldenPath string) {
+	t.Helper()
+	got, err := os.ReadFile(gotPath)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("%s drifted from golden %s.\nIf the change is intentional, regenerate with:\n  go test ./cmd/figures -run TestGolden -update\n--- got ---\n%s\n--- want ---\n%s",
+			gotPath, goldenPath, got, want)
+	}
+}

@@ -50,6 +50,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	timescale := fs.Float64("timescale", 1.0, "shrink trial periods (1.0 = paper protocol)")
 	parallel := fs.Int("parallel", 4, "concurrent deployments per sweep")
+	trialParallel := fs.Int("trialparallel", 1, "concurrent trials per deployment's workload grid (results identical for any value)")
+	seed := fs.Uint64("seed", 0, "root seed mixed into every trial seed (0 = default derivation)")
 	outDir := fs.String("out", "", "write artifacts under this directory")
 	only := fs.String("only", "", "comma-separated artifact ids (table1..table7, fig1..fig8)")
 	reduced := fs.Bool("reduced", false, "use the reduced experiment envelope")
@@ -77,7 +79,13 @@ func run(args []string) error {
 			fmt.Printf("  trial %-40s rt=%7.1fms ok=%t\n", r.Key.String(), r.AvgRTms, r.Completed)
 		}
 	}
-	c, err := core.New(core.Options{TimeScale: *timescale, Parallel: *parallel, OnTrial: onTrial})
+	c, err := core.New(core.Options{
+		TimeScale:     *timescale,
+		Parallel:      *parallel,
+		TrialParallel: *trialParallel,
+		Seed:          *seed,
+		OnTrial:       onTrial,
+	})
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,15 @@ type Options struct {
 	// Parallel runs this many deployments of each sweep concurrently
 	// (default 1). OnTrial may then fire from multiple goroutines.
 	Parallel int
+	// TrialParallel runs this many trials within each deployment's
+	// workload grid concurrently (default 1). Stored results are
+	// bit-identical for every setting; see Runner.TrialParallel.
+	TrialParallel int
+	// Seed is an optional root seed mixed into every derived trial seed
+	// (0 keeps the historical per-experiment derivation). Two runs with
+	// the same Seed produce identical results; different Seeds re-run the
+	// same experiments under an independent random universe.
+	Seed uint64
 	// Catalog overrides the built-in CIM resource model.
 	Catalog *cim.Catalog
 	// Store receives results; a fresh store is created when nil.
@@ -69,6 +78,10 @@ func New(opts Options) (*Characterizer, error) {
 	if opts.Parallel > 0 {
 		runner.Parallel = opts.Parallel
 	}
+	if opts.TrialParallel > 0 {
+		runner.TrialParallel = opts.TrialParallel
+	}
+	runner.Seed = opts.Seed
 	c := &Characterizer{
 		catalog:   cat,
 		runner:    runner,

@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"errors"
+	"sync"
+
 	"elba/internal/deploy"
 	"elba/internal/metrics"
 	"elba/internal/mulini"
@@ -19,6 +22,24 @@ import (
 // the fluctuation quantitative.
 func RunReplicatedTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement,
 	cfg TrialConfig, repeat int) (*TrialOutcome, error) {
+	return RunReplicatedTrialParallel(e, d, p, cfg, repeat, 1)
+}
+
+// replicaSeed derives replica i's seed from the workload point's base
+// seed. Each replica's random stream is a pure function of (base, i), so
+// the aggregate is bit-identical however the replicas are scheduled.
+func replicaSeed(base uint64, i int) uint64 {
+	return base ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+}
+
+// RunReplicatedTrialParallel is RunReplicatedTrial with the replicas run
+// on a bounded pool of `workers` goroutines. Replica seeds are derived
+// from the replica index alone and aggregation always folds outcomes in
+// index order, so the result is bit-identical for every worker count.
+// Errors from all failed replicas are collected (errors.Join), not just
+// the first.
+func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement,
+	cfg TrialConfig, repeat, workers int) (*TrialOutcome, error) {
 
 	if repeat <= 1 {
 		return RunTrial(e, d, p, cfg)
@@ -26,6 +47,48 @@ func RunReplicatedTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Plac
 	base := cfg.Seed
 	if base == 0 {
 		base = deriveSeed(e.Seed, d.Topology.String(), cfg.Users, cfg.WriteRatioPct)
+		if cfg.RootSeed != 0 {
+			base = mixRootSeed(base, cfg.RootSeed, e.Name)
+		}
+	}
+
+	outs := make([]*TrialOutcome, repeat)
+	if workers > repeat {
+		workers = repeat
+	}
+	if workers > 1 {
+		trialErrs := make([]error, repeat)
+		jobs := make(chan int, repeat)
+		for i := 0; i < repeat; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					rcfg := cfg
+					rcfg.Seed = replicaSeed(base, i)
+					outs[i], trialErrs[i] = RunTrial(e, d, p, rcfg)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := errors.Join(trialErrs...); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := 0; i < repeat; i++ {
+			rcfg := cfg
+			rcfg.Seed = replicaSeed(base, i)
+			out, err := RunTrial(e, d, p, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = out
+		}
 	}
 
 	var last *TrialOutcome
@@ -34,12 +97,7 @@ func RunReplicatedTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Plac
 	tierSum := map[string]float64{}
 	hostSum := map[string]float64{}
 	for i := 0; i < repeat; i++ {
-		rcfg := cfg
-		rcfg.Seed = base ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
-		out, err := RunTrial(e, d, p, rcfg)
-		if err != nil {
-			return nil, err
-		}
+		out := outs[i]
 		last = out
 		r := out.Result
 		if i == 0 {

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"elba/internal/cim"
 	"elba/internal/cluster"
@@ -44,6 +46,17 @@ type Runner struct {
 	// platform's node count. OnTrial may be called from multiple
 	// goroutines when Parallel > 1.
 	Parallel int
+	// TrialParallel runs this many trials of one deployment's workload
+	// grid concurrently (default 1 = sequential), and, for single-point
+	// runs, this many trial replicas. Every trial draws from a random
+	// stream derived purely from its coordinates, and results are
+	// committed to the store in grid order, so the stored results are
+	// bit-identical for every TrialParallel value.
+	TrialParallel int
+	// Seed, when non-zero, is a root seed mixed into every derived trial
+	// seed together with the experiment name. Zero keeps the historical
+	// per-experiment derivation.
+	Seed uint64
 
 	// clusterMu serializes cluster mutations (allocate/deploy/release).
 	clusterMu sync.Mutex
@@ -135,30 +148,25 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 		jobs <- d
 	}
 	close(jobs)
-	errs := make(chan error, workers)
+	// One error slot per worker: a worker stops at its first failed
+	// deployment, and every worker's error survives to the joined report
+	// (the old single-slot channel silently dropped all but one).
+	workerErrs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for d := range jobs {
 				if err := r.runDeployment(e, deployer, d); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
+					workerErrs[w] = err
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
-	}
+	return errors.Join(workerErrs...)
 }
 
 // runDeployment deploys one topology and sweeps its workload grid.
@@ -181,16 +189,43 @@ func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d 
 			err = uerr
 		}
 	}()
+	// The workload grid in its canonical order. Trial seeds derive purely
+	// from the grid coordinates and results are committed in this order,
+	// so the store's contents do not depend on how the grid is executed.
+	type gridPoint struct {
+		wr    float64
+		users int
+	}
+	var points []gridPoint
 	for _, wr := range e.Workload.WriteRatioPct.Values() {
 		for _, users := range e.Workload.Users.Values() {
-			out, terr := RunReplicatedTrial(e, d, placement, TrialConfig{
-				Users:         int(users),
-				WriteRatioPct: wr,
-				TimeScale:     r.TimeScale,
-			}, e.Repeat)
+			points = append(points, gridPoint{wr: wr, users: int(users)})
+		}
+	}
+
+	cfgFor := func(pt gridPoint) TrialConfig {
+		return TrialConfig{
+			Users:         pt.users,
+			WriteRatioPct: pt.wr,
+			TimeScale:     r.TimeScale,
+			RootSeed:      r.Seed,
+		}
+	}
+
+	workers := r.TrialParallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	if workers <= 1 {
+		for _, pt := range points {
+			out, terr := RunReplicatedTrialParallel(e, d, placement, cfgFor(pt), e.Repeat, r.TrialParallel)
 			if terr != nil {
 				return fmt.Errorf("experiment %s/%s u=%d w=%g: %w",
-					e.Name, d.Topology, int(users), wr, terr)
+					e.Name, d.Topology, pt.users, pt.wr, terr)
 			}
 			r.results.Put(out.Result)
 			if err := r.archive(out); err != nil {
@@ -201,9 +236,78 @@ func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d 
 			}
 			if !out.Result.Completed && !r.KeepGoingOnFailure {
 				return fmt.Errorf("experiment %s/%s u=%d w=%g failed: %s",
-					e.Name, d.Topology, int(users), wr, out.Result.FailReason)
+					e.Name, d.Topology, pt.users, pt.wr, out.Result.FailReason)
 			}
 		}
+		return err
+	}
+
+	// Parallel grid: every point runs on the worker pool against its own
+	// kernel; outcomes land in an indexed slice and are committed in grid
+	// order afterwards. Errors from every failed point are collected
+	// rather than only the first — which is why a trial error does not
+	// stop the pool. Only the explicit abort condition (a failed trial
+	// with KeepGoingOnFailure off) stops workers from picking up new
+	// points. Results are committed only up to the first error or abort
+	// point in grid order, matching what a sequential sweep would have
+	// stored.
+	outs := make([]*TrialOutcome, len(points))
+	terrs := make([]error, len(points))
+	var stop atomic.Bool
+	jobs := make(chan int, len(points))
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stop.Load() {
+					continue
+				}
+				out, terr := RunReplicatedTrialParallel(e, d, placement, cfgFor(points[i]), e.Repeat, 1)
+				outs[i], terrs[i] = out, terr
+				if !r.KeepGoingOnFailure && out != nil && !out.Result.Completed {
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var errs []error
+	storing := true
+	for i, pt := range points {
+		switch {
+		case terrs[i] != nil:
+			errs = append(errs, fmt.Errorf("experiment %s/%s u=%d w=%g: %w",
+				e.Name, d.Topology, pt.users, pt.wr, terrs[i]))
+			storing = false
+		case outs[i] == nil:
+			// Skipped after an abort elsewhere in the grid.
+		case storing:
+			out := outs[i]
+			r.results.Put(out.Result)
+			if aerr := r.archive(out); aerr != nil {
+				errs = append(errs, aerr)
+				storing = false
+				continue
+			}
+			if r.OnTrial != nil {
+				r.OnTrial(out.Result)
+			}
+			if !out.Result.Completed && !r.KeepGoingOnFailure {
+				errs = append(errs, fmt.Errorf("experiment %s/%s u=%d w=%g failed: %s",
+					e.Name, d.Topology, pt.users, pt.wr, out.Result.FailReason))
+				storing = false
+			}
+		}
+	}
+	if joined := errors.Join(errs...); joined != nil {
+		return joined
 	}
 	return err
 }
@@ -225,11 +329,16 @@ func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, w
 	if err != nil {
 		return nil, err
 	}
-	out, terr := RunReplicatedTrial(e, d, placement, TrialConfig{
+	workers := r.TrialParallel
+	if workers < 1 {
+		workers = 1
+	}
+	out, terr := RunReplicatedTrialParallel(e, d, placement, TrialConfig{
 		Users:         users,
 		WriteRatioPct: writeRatioPct,
 		TimeScale:     r.TimeScale,
-	}, e.Repeat)
+		RootSeed:      r.Seed,
+	}, e.Repeat, workers)
 	if uerr := deployer.Undeploy(placement); uerr != nil && terr == nil {
 		terr = uerr
 	}

@@ -39,6 +39,13 @@ type PhaseResult struct {
 // design.
 func RunTransientTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement,
 	schedule []PopulationPhase, timeScale float64) ([]PhaseResult, error) {
+	return runTransientTrialSeeded(e, d, p, schedule, timeScale, 0)
+}
+
+// runTransientTrialSeeded is RunTransientTrial with a runner root seed
+// mixed into the derived trial seed (0 = historical derivation).
+func runTransientTrialSeeded(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement,
+	schedule []PopulationPhase, timeScale float64, root uint64) ([]PhaseResult, error) {
 
 	if len(schedule) == 0 {
 		return nil, fmt.Errorf("experiment: transient trial needs at least one phase")
@@ -56,6 +63,9 @@ func RunTransientTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Place
 		return nil, err
 	}
 	seed := deriveSeed(e.Seed, d.Topology.String(), schedule[0].Users, e.Workload.WriteRatioPct.Lo)
+	if root != 0 {
+		seed = mixRootSeed(seed, root, e.Name)
+	}
 	k := sim.NewKernel(seed)
 	nt, maxSessions, err := buildNTier(k, d, p)
 	if err != nil {
@@ -142,7 +152,7 @@ func (r *Runner) RunTransientAt(e *spec.Experiment, topo spec.Topology, schedule
 	if err != nil {
 		return nil, err
 	}
-	out, terr := RunTransientTrial(e, d, placement, schedule, r.TimeScale)
+	out, terr := runTransientTrialSeeded(e, d, placement, schedule, r.TimeScale, r.Seed)
 	if uerr := deployer.Undeploy(placement); uerr != nil && terr == nil {
 		terr = uerr
 	}

@@ -26,6 +26,12 @@ type TrialConfig struct {
 	TimeScale float64
 	// Seed overrides the derived deterministic seed when non-zero.
 	Seed uint64
+	// RootSeed, when non-zero, is mixed into the derived trial seed along
+	// with the experiment name. It lets a whole experiment set be re-run
+	// under a different random universe (Runner.Seed) while every trial's
+	// stream stays a pure function of (root, experiment, topology, users,
+	// write ratio) — independent of worker count or execution order.
+	RootSeed uint64
 }
 
 // TrialOutcome carries a trial's stored result plus the raw monitoring
@@ -62,6 +68,9 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = deriveSeed(e.Seed, d.Topology.String(), cfg.Users, cfg.WriteRatioPct)
+		if cfg.RootSeed != 0 {
+			seed = mixRootSeed(seed, cfg.RootSeed, e.Name)
+		}
 	}
 
 	model, err := Model(e, cfg.WriteRatioPct)
@@ -312,6 +321,24 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 		res.Completed = true
 	}
 	return res
+}
+
+// mixRootSeed folds a runner-level root seed and the experiment name into
+// a derived trial seed. Keeping this a separate step (a no-op when the
+// root is zero) preserves every historical seed derivation bit-for-bit.
+func mixRootSeed(h, root uint64, experiment string) uint64 {
+	mix := func(x uint64) {
+		h ^= x
+		h *= 0x100000001b3
+	}
+	mix(root * 0x9e3779b97f4a7c15)
+	for i := 0; i < len(experiment); i++ {
+		mix(uint64(experiment[i]))
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // deriveSeed mixes the experiment seed with the trial coordinates so each

@@ -47,6 +47,16 @@ func (h *Histogram) Observe(x float64) {
 	}
 }
 
+// Reset clears all counts while keeping the bucket allocation, so a
+// pre-sized histogram can be reused across measurement windows without
+// allocating.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.underflow, h.overflow, h.total = 0, 0, 0
+}
+
 // Count reports the total number of observations.
 func (h *Histogram) Count() int64 { return h.total }
 

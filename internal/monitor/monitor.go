@@ -9,6 +9,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"elba/internal/metrics"
@@ -52,12 +53,27 @@ type Monitor struct {
 	probes  []Probe
 	running bool
 
-	lastBusy map[string]float64
-	lastNet  map[string]float64
-	lastDisk map[string]float64
+	// state caches per-probe output targets and counter windows so a
+	// sample tick does no map lookups, key concatenation, or Sprintf work.
+	state []probeState
+	buf   []byte // scratch line buffer reused across ticks
 
 	files  map[string]*strings.Builder
 	series map[string]*metrics.TimeSeries
+}
+
+// probeState is the resolved hot-path state for one probe: where its rows
+// go, which time series receive its values, and the previous cumulative
+// counter readings for windowed rates.
+type probeState struct {
+	file     *strings.Builder
+	cpu      *metrics.TimeSeries
+	mem      *metrics.TimeSeries
+	net      *metrics.TimeSeries
+	disk     *metrics.TimeSeries
+	lastBusy float64
+	lastNet  float64
+	lastDisk float64
 }
 
 // New creates a monitor for the probes. Sampling begins at Start.
@@ -70,18 +86,46 @@ func New(k *sim.Kernel, cfg Config, probes []Probe) (*Monitor, error) {
 	}
 	m := &Monitor{
 		k: k, cfg: cfg, probes: probes,
-		lastBusy: map[string]float64{},
-		lastNet:  map[string]float64{},
-		lastDisk: map[string]float64{},
-		files:    map[string]*strings.Builder{},
-		series:   map[string]*metrics.TimeSeries{},
+		files:  map[string]*strings.Builder{},
+		series: map[string]*metrics.TimeSeries{},
 	}
 	for _, p := range probes {
-		m.files[p.Host] = &strings.Builder{}
-		fmt.Fprintf(m.files[p.Host], "# sysstat 5.0.5 host=%s role=%s interval=%gs\n",
-			p.Host, p.Role, cfg.IntervalSec)
+		if m.files[p.Host] == nil {
+			m.files[p.Host] = &strings.Builder{}
+			fmt.Fprintf(m.files[p.Host], "# sysstat 5.0.5 host=%s role=%s interval=%gs\n",
+				p.Host, p.Role, cfg.IntervalSec)
+		}
+	}
+	m.state = make([]probeState, len(probes))
+	for i, p := range probes {
+		st := &m.state[i]
+		st.file = m.files[p.Host]
+		if m.has("cpu") {
+			st.cpu = m.seriesFor(p.Host, "cpu")
+		}
+		if m.has("memory") {
+			st.mem = m.seriesFor(p.Host, "memory")
+		}
+		if m.has("network") && p.NetBytes != nil {
+			st.net = m.seriesFor(p.Host, "network")
+		}
+		if m.has("disk") && p.DiskOps != nil {
+			st.disk = m.seriesFor(p.Host, "disk")
+		}
 	}
 	return m, nil
+}
+
+// seriesFor returns the time series for host/metric, creating it on first
+// use. Probes sharing a host share the series, as record() always did.
+func (m *Monitor) seriesFor(host, metric string) *metrics.TimeSeries {
+	key := host + "/" + metric
+	ts, ok := m.series[key]
+	if !ok {
+		ts = metrics.NewTimeSeries(key)
+		m.series[key] = ts
+	}
+	return ts
 }
 
 func (m *Monitor) has(metric string) bool {
@@ -97,15 +141,16 @@ func (m *Monitor) has(metric string) bool {
 func (m *Monitor) Start() {
 	m.running = true
 	// Prime counters so the first window starts at Start, not at t=0.
-	for _, p := range m.probes {
+	for i := range m.probes {
+		p, st := &m.probes[i], &m.state[i]
 		if p.Station != nil {
-			m.lastBusy[p.Host] = p.Station.BusyTime()
+			st.lastBusy = p.Station.BusyTime()
 		}
 		if p.NetBytes != nil {
-			m.lastNet[p.Host] = p.NetBytes()
+			st.lastNet = p.NetBytes()
 		}
 		if p.DiskOps != nil {
-			m.lastDisk[p.Host] = p.DiskOps()
+			st.lastDisk = p.DiskOps()
 		}
 	}
 	m.k.Schedule(m.cfg.IntervalSec, m.tick)
@@ -120,19 +165,23 @@ func (m *Monitor) tick() {
 	}
 	now := m.k.Now()
 	for i := range m.probes {
-		m.sample(&m.probes[i], now)
+		m.sample(&m.probes[i], &m.state[i], now)
 	}
 	m.k.Schedule(m.cfg.IntervalSec, m.tick)
 }
 
-func (m *Monitor) sample(p *Probe, now float64) {
-	f := m.files[p.Host]
-	if m.has("cpu") {
+// sample emits one sysstat row per enabled metric family. Rows are built
+// in the monitor's scratch buffer and written once, so steady-state
+// sampling allocates nothing beyond amortized buffer growth — collection
+// volume is Table 3 scale, so this path runs millions of times per sweep.
+func (m *Monitor) sample(p *Probe, st *probeState, now float64) {
+	b := m.buf[:0]
+	if st.cpu != nil {
 		util := 0.0
 		if p.Station != nil {
 			busy := p.Station.BusyTime()
-			delta := busy - m.lastBusy[p.Host]
-			m.lastBusy[p.Host] = busy
+			delta := busy - st.lastBusy
+			st.lastBusy = busy
 			util = delta / (m.cfg.IntervalSec * float64(p.Station.Servers()))
 			if util > 1 {
 				util = 1
@@ -141,10 +190,19 @@ func (m *Monitor) sample(p *Probe, now float64) {
 		user := util * 100 * 0.92
 		sys := util * 100 * 0.08
 		idle := 100 - user - sys
-		fmt.Fprintf(f, "%s %s cpu all %6.2f %6.2f %6.2f\n", stamp(now), p.Host, user, sys, idle)
-		m.record(p.Host, "cpu", now, util*100)
+		b = appendStamp(b, now)
+		b = append(b, ' ')
+		b = append(b, p.Host...)
+		b = append(b, " cpu all "...)
+		b = appendFixed(b, user, 6, 2)
+		b = append(b, ' ')
+		b = appendFixed(b, sys, 6, 2)
+		b = append(b, ' ')
+		b = appendFixed(b, idle, 6, 2)
+		b = append(b, '\n')
+		st.cpu.Append(now, util*100)
 	}
-	if m.has("memory") {
+	if st.mem != nil {
 		used := p.BaseMemMB
 		if p.Station != nil {
 			used += float64(p.Station.InFlight()) * p.MemPerJobMB
@@ -153,39 +211,71 @@ func (m *Monitor) sample(p *Probe, now float64) {
 			used = p.TotalMemMB
 		}
 		free := p.TotalMemMB - used
-		fmt.Fprintf(f, "%s %s mem %8.1f %8.1f\n", stamp(now), p.Host, used, free)
-		m.record(p.Host, "memory", now, used)
+		b = appendStamp(b, now)
+		b = append(b, ' ')
+		b = append(b, p.Host...)
+		b = append(b, " mem "...)
+		b = appendFixed(b, used, 8, 1)
+		b = append(b, ' ')
+		b = appendFixed(b, free, 8, 1)
+		b = append(b, '\n')
+		st.mem.Append(now, used)
 	}
-	if m.has("network") && p.NetBytes != nil {
+	if st.net != nil {
 		cum := p.NetBytes()
-		rate := (cum - m.lastNet[p.Host]) / m.cfg.IntervalSec
-		m.lastNet[p.Host] = cum
-		fmt.Fprintf(f, "%s %s net eth0 %12.1f\n", stamp(now), p.Host, rate)
-		m.record(p.Host, "network", now, rate)
+		rate := (cum - st.lastNet) / m.cfg.IntervalSec
+		st.lastNet = cum
+		b = appendStamp(b, now)
+		b = append(b, ' ')
+		b = append(b, p.Host...)
+		b = append(b, " net eth0 "...)
+		b = appendFixed(b, rate, 12, 1)
+		b = append(b, '\n')
+		st.net.Append(now, rate)
 	}
-	if m.has("disk") && p.DiskOps != nil {
+	if st.disk != nil {
 		cum := p.DiskOps()
-		rate := (cum - m.lastDisk[p.Host]) / m.cfg.IntervalSec
-		m.lastDisk[p.Host] = cum
-		fmt.Fprintf(f, "%s %s disk sda %10.1f\n", stamp(now), p.Host, rate)
-		m.record(p.Host, "disk", now, rate)
+		rate := (cum - st.lastDisk) / m.cfg.IntervalSec
+		st.lastDisk = cum
+		b = appendStamp(b, now)
+		b = append(b, ' ')
+		b = append(b, p.Host...)
+		b = append(b, " disk sda "...)
+		b = appendFixed(b, rate, 10, 1)
+		b = append(b, '\n')
+		st.disk.Append(now, rate)
 	}
+	if len(b) > 0 {
+		st.file.Write(b)
+	}
+	m.buf = b
 }
 
-func (m *Monitor) record(host, metric string, t, v float64) {
-	key := host + "/" + metric
-	ts, ok := m.series[key]
-	if !ok {
-		ts = metrics.NewTimeSeries(key)
-		m.series[key] = ts
-	}
-	ts.Append(t, v)
-}
-
-// stamp renders a simulated time as HH:MM:SS, sar style.
-func stamp(t float64) string {
+// appendStamp renders a simulated time as HH:MM:SS, sar style, without the
+// Sprintf round trip of the old stamp() helper.
+func appendStamp(b []byte, t float64) []byte {
 	s := int(t)
-	return fmt.Sprintf("%02d:%02d:%02d", s/3600%24, s/60%60, s%60)
+	h, mi, se := s/3600%24, s/60%60, s%60
+	return append(b,
+		byte('0'+h/10), byte('0'+h%10), ':',
+		byte('0'+mi/10), byte('0'+mi%10), ':',
+		byte('0'+se/10), byte('0'+se%10))
+}
+
+// appendFixed renders v like fmt's %{width}.{prec}f: fixed decimals,
+// left-padded with spaces to the minimum width.
+func appendFixed(b []byte, v float64, width, prec int) []byte {
+	const spaces = "                " // longest pad is width 12
+	start := len(b)
+	b = strconv.AppendFloat(b, v, 'f', prec, 64)
+	if pad := width - (len(b) - start); pad > 0 {
+		b = append(b, spaces[:pad]...)
+		copy(b[start+pad:], b[start:len(b)-pad])
+		for i := 0; i < pad; i++ {
+			b[start+i] = ' '
+		}
+	}
+	return b
 }
 
 // Series returns the sampled time series for host/metric.

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elba/internal/store"
+)
+
+// update regenerates the golden file instead of comparing against it:
+//
+//	go test ./internal/report -run TestGoldenReport -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenStore builds a small synthetic result set with hand-picked values
+// so the rendered document is a pure function of this file.
+func goldenStore() *store.Store {
+	st := store.New()
+	for _, topo := range []string{"1-1-1", "1-2-1", "1-2-2"} {
+		appScale := float64(len(topo)) // deterministic per-topology spread
+		for ui, users := range []int{100, 200, 300} {
+			for wi, wr := range []float64{5, 25} {
+				load := float64(users) * (1 + float64(wi)) / appScale
+				r := store.Result{
+					Key: store.Key{
+						Experiment: "golden-set", Topology: topo,
+						Users: users, WriteRatioPct: wr,
+					},
+					Completed:  true,
+					AvgRTms:    10 + load/4,
+					P50ms:      8 + load/5,
+					P90ms:      20 + load/3,
+					P99ms:      45 + load/2,
+					MaxRTms:    90 + load,
+					Throughput: float64(users) / (1 + load/1000),
+					Requests:   int64(users * 60),
+					Errors:     int64(ui * wi),
+					TierCPU: map[string]float64{
+						"web": 5 + load/50, "app": 20 + load/8, "db": 10 + load/20,
+					},
+					RunSeconds: 600,
+				}
+				// One missing square, as the paper's Table 7 has.
+				if topo == "1-1-1" && users == 300 {
+					r.Completed = false
+					r.FailReason = "error rate 12.0% exceeds 5%"
+				}
+				st.Put(r)
+			}
+		}
+	}
+	return st
+}
+
+// TestGoldenReport locks the report package's rendering: tables, surface
+// grids, series charts, and CSV output over a fixed store must reproduce
+// the committed document byte-for-byte.
+func TestGoldenReport(t *testing.T) {
+	st := goldenStore()
+	var b strings.Builder
+
+	sf := st.RTSurface("golden-set", "1-2-1")
+	b.WriteString(SurfaceGrid("Avg response time, 1-2-1", "ms", sf))
+	b.WriteString("\n")
+	b.WriteString(SurfaceCSV(sf))
+	b.WriteString("\n")
+
+	var series []Series
+	for _, topo := range []string{"1-1-1", "1-2-1", "1-2-2"} {
+		series = append(series, Series{Name: topo, Points: st.RTvsUsers("golden-set", topo, 25)})
+	}
+	b.WriteString(SeriesTable("RT vs users (w=25%)", "users", "ms", series))
+	b.WriteString("\n")
+	b.WriteString(SeriesChart("RT vs users (w=25%)", "users", "ms", series))
+	b.WriteString("\n")
+	b.WriteString(SeriesCSV("users", series))
+	b.WriteString("\n")
+
+	b.WriteString(Table7Throughput(st, "golden-set", 25,
+		[]string{"1-1-1", "1-2-1", "1-2-2"}, []int{100, 200, 300}))
+	b.WriteString("\n")
+
+	diff := Difference("1-2-1 minus 1-1-1",
+		st.RTvsUsers("golden-set", "1-2-1", 25),
+		st.RTvsUsers("golden-set", "1-1-1", 25))
+	b.WriteString(SeriesTable("Topology difference", "users", "ms", []Series{diff}))
+	b.WriteString("\n")
+
+	r, _ := st.Get(store.Key{Experiment: "golden-set", Topology: "1-2-1", Users: 200, WriteRatioPct: 25})
+	r.PerInteraction = map[string]float64{"Home": 4.2, "SearchItems": 61.5, "AboutMe": 118.9}
+	b.WriteString(InteractionBreakdown(r))
+	b.WriteString("\n")
+	b.WriteString(st.CSV())
+
+	got := b.String()
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("report rendering drifted from golden.\nIf intentional, regenerate with:\n  go test ./internal/report -run TestGoldenReport -update\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

@@ -58,19 +58,86 @@ type Driver struct {
 	errors    int64
 	timeouts  int64
 
-	nextID  int
-	stopped map[int]bool
-	active  int
+	users  []*user
+	active int
 
 	rtSample *metrics.Sample
 	perIx    map[string]*metrics.Summary
+}
+
+// Event tags for the per-user state machine.
+const (
+	tagUserStart int32 = iota // session's start delay elapsed: enter the loop
+	tagUserThink              // think period ended: issue the next request
+)
+
+// user is one emulated client session. It implements the kernel's actor
+// interface (for think/start timers) and the router's outcomeDone interface
+// (for request completions), so a full think→request→response cycle
+// schedules no closures and allocates nothing in steady state.
+type user struct {
+	d       *Driver
+	sess    Session
+	id      int
+	stop    bool
+	refused bool
+
+	// in-flight request state; valid between issue and requestDone.
+	it       Interaction
+	issuedAt float64
+}
+
+// act handles the user's timer events.
+func (u *user) act(tag int32) {
+	d := u.d
+	if tag == tagUserStart {
+		u.loop()
+		return
+	}
+	// Think period over: issue the session's next interaction.
+	if u.refused {
+		it := u.sess.Next(d.rng)
+		d.issued++
+		d.complete(it, d.k.Now(), 0, Rejected)
+		u.loop()
+		return
+	}
+	if u.stop {
+		return
+	}
+	it := u.sess.Next(d.rng)
+	u.it = it
+	u.issuedAt = d.k.Now()
+	d.issued++
+	d.app.serveSession(u.id, it, u)
+}
+
+// requestDone receives the end-to-end outcome of the user's in-flight
+// request and closes the loop: the user starts thinking again immediately,
+// whatever the outcome (a real emulator retries after errors).
+func (u *user) requestDone(out Outcome) {
+	d := u.d
+	rt := d.k.Now() - u.issuedAt
+	d.complete(u.it, u.issuedAt, rt, out)
+	u.loop()
+}
+
+// loop begins one think period unless the session has been retired.
+// Refused sessions never retire: they model browsers hammering a full
+// accept queue, exactly as the original refused loop did.
+func (u *user) loop() {
+	if !u.refused && u.stop {
+		return
+	}
+	think := u.d.k.Exp(u.d.model.ThinkTime())
+	u.d.k.scheduleAct(think, u, tagUserThink)
 }
 
 // NewDriver creates a driver for users of the given workload model against
 // app. The driver draws all randomness from its own PCG stream seeded from
 // seed so concurrent trials never share state.
 func NewDriver(k *Kernel, app *NTier, model Model, cfg DriverConfig, seed uint64) *Driver {
-	return &Driver{
+	d := &Driver{
 		k:        k,
 		app:      app,
 		model:    model,
@@ -78,8 +145,13 @@ func NewDriver(k *Kernel, app *NTier, model Model, cfg DriverConfig, seed uint64
 		rng:      rand.New(rand.NewPCG(seed, seed^0xdeadbeefcafef00d)),
 		rtSample: metrics.NewSample(4096),
 		perIx:    make(map[string]*metrics.Summary),
-		stopped:  map[int]bool{},
 	}
+	// Pre-register a summary per declared interaction so steady-state
+	// recording never allocates inside the measurement window.
+	for _, it := range model.Interactions() {
+		d.perIx[it.Name] = &metrics.Summary{}
+	}
+	return d
 }
 
 // Start launches all user sessions. Call before Kernel.Run.
@@ -91,15 +163,14 @@ func (d *Driver) Start() {
 		}
 		if d.cfg.MaxSessions > 0 && i >= d.cfg.MaxSessions {
 			// No connection slot: this user's requests are refused.
-			sess := d.model.NewSession(d.rng)
-			d.k.Schedule(delay, func() { d.refusedLoop(sess) })
+			u := &user{d: d, sess: d.model.NewSession(d.rng), id: -1, refused: true}
+			d.k.scheduleAct(delay, u, tagUserStart)
 			continue
 		}
-		sess := d.model.NewSession(d.rng)
-		id := d.nextID
-		d.nextID++
+		u := &user{d: d, sess: d.model.NewSession(d.rng), id: len(d.users)}
+		d.users = append(d.users, u)
 		d.active++
-		d.k.Schedule(delay, func() { d.userLoop(id, sess) })
+		d.k.scheduleAct(delay, u, tagUserStart)
 	}
 }
 
@@ -113,15 +184,14 @@ func (d *Driver) ActiveUsers() int { return d.active }
 // instead.
 func (d *Driver) AddUsers(n int, rampUp float64) {
 	for i := 0; i < n; i++ {
-		sess := d.model.NewSession(d.rng)
-		id := d.nextID
-		d.nextID++
+		u := &user{d: d, sess: d.model.NewSession(d.rng), id: len(d.users)}
+		d.users = append(d.users, u)
 		d.active++
 		delay := 0.0
 		if rampUp > 0 {
 			delay = d.rng.Float64() * rampUp
 		}
-		d.k.Schedule(delay, func() { d.userLoop(id, sess) })
+		d.k.scheduleAct(delay, u, tagUserStart)
 	}
 }
 
@@ -129,50 +199,13 @@ func (d *Driver) AddUsers(n int, rampUp float64) {
 // finishes its in-flight request (if any) and leaves instead of thinking
 // again.
 func (d *Driver) RemoveUsers(n int) {
-	for id := d.nextID - 1; id >= 0 && n > 0; id-- {
-		if !d.stopped[id] {
-			d.stopped[id] = true
+	for i := len(d.users) - 1; i >= 0 && n > 0; i-- {
+		if u := d.users[i]; !u.stop {
+			u.stop = true
 			d.active--
 			n--
 		}
 	}
-}
-
-// refusedLoop emulates a user whose connection attempts are refused: each
-// think period ends in an immediate error, like a browser hitting a full
-// accept queue.
-func (d *Driver) refusedLoop(sess Session) {
-	think := d.k.Exp(d.model.ThinkTime())
-	d.k.Schedule(think, func() {
-		it := sess.Next(d.rng)
-		d.issued++
-		d.complete(it, d.k.Now(), 0, Rejected)
-		d.refusedLoop(sess)
-	})
-}
-
-// userLoop performs one think + request cycle and reschedules itself
-// until the session is retired.
-func (d *Driver) userLoop(id int, sess Session) {
-	if d.stopped[id] {
-		return
-	}
-	think := d.k.Exp(d.model.ThinkTime())
-	d.k.Schedule(think, func() {
-		if d.stopped[id] {
-			return
-		}
-		it := sess.Next(d.rng)
-		issued := d.k.Now()
-		d.issued++
-		d.app.ServeSession(id, it, func(out Outcome) {
-			rt := d.k.Now() - issued
-			d.complete(it, issued, rt, out)
-			// Closed loop: the user starts thinking again immediately,
-			// whatever the outcome (a real emulator retries after errors).
-			d.userLoop(id, sess)
-		})
-	})
 }
 
 func (d *Driver) complete(it Interaction, issued, rt float64, out Outcome) {
@@ -185,6 +218,7 @@ func (d *Driver) complete(it Interaction, issued, rt float64, out Outcome) {
 			d.rtSample.Observe(rt)
 			s := d.perIx[it.Name]
 			if s == nil {
+				// Interaction not declared by the model; register lazily.
 				s = &metrics.Summary{}
 				d.perIx[it.Name] = s
 			}
@@ -205,7 +239,9 @@ func (d *Driver) BeginMeasurement() {
 	d.measuring = true
 	d.records = d.records[:0]
 	d.rtSample.Reset()
-	d.perIx = make(map[string]*metrics.Summary)
+	for _, s := range d.perIx {
+		s.Reset()
+	}
 	d.errors = 0
 	d.timeouts = 0
 }
@@ -219,8 +255,17 @@ func (d *Driver) Records() []RequestRecord { return d.records }
 // ResponseTimes returns the sample of successful response times measured.
 func (d *Driver) ResponseTimes() *metrics.Sample { return d.rtSample }
 
-// PerInteraction returns response-time summaries keyed by interaction name.
-func (d *Driver) PerInteraction() map[string]*metrics.Summary { return d.perIx }
+// PerInteraction returns response-time summaries keyed by interaction
+// name, for interactions observed during the measurement window.
+func (d *Driver) PerInteraction() map[string]*metrics.Summary {
+	out := make(map[string]*metrics.Summary, len(d.perIx))
+	for name, s := range d.perIx {
+		if s.Count() > 0 {
+			out[name] = s
+		}
+	}
+	return out
+}
 
 // Issued reports the total number of requests sent since Start.
 func (d *Driver) Issued() int64 { return d.issued }

@@ -9,51 +9,47 @@
 // network where each emulated user alternates between thinking and issuing
 // an interaction that traverses web, application, and database tiers. All
 // state lives inside the kernel; no goroutines are used, so trials are
-// fully deterministic for a given seed.
+// fully deterministic for a given seed. Because a kernel is single-owner,
+// many trials can run concurrently on separate kernels without any
+// synchronization — the experiment runner's trial parallelism relies on
+// this.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 )
 
-// event is a scheduled callback. Events at the same instant fire in
-// schedule order (seq breaks ties), keeping runs deterministic.
+// event is a scheduled occurrence. Events at the same instant fire in
+// schedule order (seq breaks ties), keeping runs deterministic. An event
+// carries either a closure (fn) or an actor/tag pair; the actor form lets
+// hot-path components (stations, drivers) receive their completions
+// without allocating a closure per event. Events are stored by value in
+// the kernel's heap, so scheduling allocates nothing beyond amortized
+// slice growth.
 type event struct {
 	at  float64
 	seq int64
 	fn  func()
+	act actor
+	tag int32
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// actor is implemented by simulation components that receive scheduled
+// events without per-event closures. The tag disambiguates what the event
+// means to the receiver (e.g. which service slot completed).
+type actor interface {
+	act(tag int32)
 }
 
 // Kernel is a discrete-event simulation executive. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
-	now    float64
-	seq    int64
-	events eventHeap
-	rng    *rand.Rand
-	fired  int64
+	now   float64
+	seq   int64
+	heap  []event // 4-ary min-heap ordered by (at, seq)
+	rng   *rand.Rand
+	fired int64
 }
 
 // NewKernel creates a kernel whose random stream is seeded
@@ -79,22 +75,100 @@ func (k *Kernel) Schedule(delay float64, fn func()) {
 		delay = 0
 	}
 	k.seq++
-	heap.Push(&k.events, &event{at: k.now + delay, seq: k.seq, fn: fn})
+	k.push(event{at: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// scheduleAct arranges for a.act(tag) to run delay seconds from now. It is
+// the allocation-free fast path used by stations and drivers.
+func (k *Kernel) scheduleAct(delay float64, a actor, tag int32) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.seq++
+	k.push(event{at: k.now + delay, seq: k.seq, act: a, tag: tag})
+}
+
+// heapArity is the branching factor of the pending-event heap. A 4-ary
+// heap halves the tree depth of a binary heap and keeps siblings in one
+// cache line, which is measurably faster at the event rates the sweep
+// benchmarks produce.
+const heapArity = 4
+
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) push(e event) {
+	k.heap = append(k.heap, e)
+	h := k.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (k *Kernel) pop() event {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/actor references
+	h = h[:n]
+	k.heap = h
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// dispatch fires one event.
+func (k *Kernel) dispatch(e event) {
+	k.fired++
+	if e.act != nil {
+		e.act.act(e.tag)
+		return
+	}
+	e.fn()
 }
 
 // Run executes events until the simulated clock reaches until seconds or
 // no events remain. The clock is left at until (or at the last event time
 // when the queue empties first).
 func (k *Kernel) Run(until float64) {
-	for len(k.events) > 0 {
-		next := k.events[0]
-		if next.at > until {
+	for len(k.heap) > 0 {
+		if k.heap[0].at > until {
 			break
 		}
-		heap.Pop(&k.events)
-		k.now = next.at
-		k.fired++
-		next.fn()
+		e := k.pop()
+		k.now = e.at
+		k.dispatch(e)
 	}
 	if k.now < until {
 		k.now = until
@@ -104,18 +178,17 @@ func (k *Kernel) Run(until float64) {
 // Step executes exactly one pending event and reports whether one existed.
 // It is intended for tests that need fine-grained control.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
+	if len(k.heap) == 0 {
 		return false
 	}
-	next := heap.Pop(&k.events).(*event)
-	k.now = next.at
-	k.fired++
-	next.fn()
+	e := k.pop()
+	k.now = e.at
+	k.dispatch(e)
 	return true
 }
 
 // Pending reports the number of scheduled events not yet fired.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Exp draws an exponentially distributed duration with the given mean. A
 // non-positive mean yields zero, which callers use for deterministic
@@ -129,5 +202,5 @@ func (k *Kernel) Exp(mean float64) float64 {
 
 // String describes the kernel state for debugging.
 func (k *Kernel) String() string {
-	return fmt.Sprintf("sim.Kernel{now=%.3fs pending=%d fired=%d}", k.now, len(k.events), k.fired)
+	return fmt.Sprintf("sim.Kernel{now=%.3fs pending=%d fired=%d}", k.now, len(k.heap), k.fired)
 }

@@ -22,6 +22,10 @@ type NTier struct {
 	// is pinned to one application server instead of being balanced per
 	// request. The affinity ablation compares both modes.
 	StickyApp bool
+
+	// pool recycles per-request routing state so steady-state traffic
+	// allocates nothing while traversing the tiers.
+	pool []*call
 }
 
 // Outcome reports how a request ended.
@@ -49,6 +53,71 @@ func (o Outcome) String() string {
 	}
 }
 
+// outcomeDone receives the end-to-end outcome of a routed request. The
+// driver implements it on per-user state so the closed loop runs without
+// per-request closures; ServeSession adapts plain functions for callers
+// outside the package.
+type outcomeDone interface {
+	requestDone(Outcome)
+}
+
+// outcomeFunc adapts a func(Outcome) to outcomeDone without allocation.
+type outcomeFunc func(Outcome)
+
+func (f outcomeFunc) requestDone(o Outcome) { f(o) }
+
+// call is the pooled routing state of one in-flight request. Its stages
+// mirror the benchmarks' request path: web tier, then app tier, then one
+// database operation.
+type call struct {
+	nt      *NTier
+	done    outcomeDone
+	session int
+	stage   int8
+	write   bool
+	appDemand, dbDemand float64
+}
+
+func (c *call) jobFinished(ok bool, _, _ float64) {
+	switch c.stage {
+	case 0: // web tier finished
+		if !ok {
+			c.finish(Rejected)
+			return
+		}
+		c.stage = 1
+		if c.nt.StickyApp && c.session >= 0 {
+			c.nt.App.submitPinnedJob(c.session, c.appDemand, c)
+		} else {
+			c.nt.App.submitJob(c.appDemand, c)
+		}
+	case 1: // app tier finished
+		if !ok {
+			c.finish(Rejected)
+			return
+		}
+		c.stage = 2
+		if c.write {
+			c.nt.DB.writeJob(c.dbDemand, c)
+		} else {
+			c.nt.DB.readJob(c.dbDemand, c)
+		}
+	default: // database finished
+		if !ok {
+			c.finish(Failed)
+			return
+		}
+		c.finish(OK)
+	}
+}
+
+func (c *call) finish(o Outcome) {
+	done := c.done
+	c.done = nil
+	c.nt.pool = append(c.nt.pool, c)
+	done.requestDone(o)
+}
+
 // Serve routes one interaction through web → app → db and calls done with
 // the outcome, balancing the app tier per request.
 func (nt *NTier) Serve(it Interaction, done func(Outcome)) {
@@ -60,36 +129,26 @@ func (nt *NTier) Serve(it Interaction, done func(Outcome)) {
 // completion; ServeSession itself adds no hidden delays. When StickyApp
 // is set and session >= 0, the app tier uses the session's pinned server.
 func (nt *NTier) ServeSession(session int, it Interaction, done func(Outcome)) {
-	submitApp := nt.App.Submit
-	if nt.StickyApp && session >= 0 {
-		submitApp = func(demand float64, d Completion) {
-			nt.App.SubmitPinned(session, demand, d)
-		}
+	nt.serveSession(session, it, outcomeFunc(done))
+}
+
+// serveSession is the allocation-free form of ServeSession used by the
+// driver's closed loop.
+func (nt *NTier) serveSession(session int, it Interaction, done outcomeDone) {
+	var c *call
+	if n := len(nt.pool); n > 0 {
+		c = nt.pool[n-1]
+		nt.pool = nt.pool[:n-1]
+	} else {
+		c = &call{nt: nt}
 	}
-	nt.Web.Submit(it.WebDemand, func(ok bool, _, _ float64) {
-		if !ok {
-			done(Rejected)
-			return
-		}
-		submitApp(it.AppDemand, func(ok bool, _, _ float64) {
-			if !ok {
-				done(Rejected)
-				return
-			}
-			dbDone := func(ok bool, _, _ float64) {
-				if !ok {
-					done(Failed)
-					return
-				}
-				done(OK)
-			}
-			if it.Write {
-				nt.DB.Write(it.DBDemand, dbDone)
-			} else {
-				nt.DB.Read(it.DBDemand, dbDone)
-			}
-		})
-	})
+	c.done = done
+	c.session = session
+	c.stage = 0
+	c.write = it.Write
+	c.appDemand = it.AppDemand
+	c.dbDemand = it.DBDemand
+	nt.Web.submitJob(it.WebDemand, c)
 }
 
 // ResetAccounting resets counters on all tiers.

@@ -16,6 +16,9 @@ type RAIDb struct {
 	replicas []*Station
 	policy   BalancerPolicy
 	next     int
+	// wpool recycles write-broadcast trackers so a broadcast write costs
+	// no allocation on the simulation hot path.
+	wpool []*writeCall
 }
 
 // NewRAIDb creates a replicated DB tier over the given replica stations.
@@ -53,7 +56,42 @@ func (r *RAIDb) pickRead() *Station {
 
 // Read dispatches a read query to one replica.
 func (r *RAIDb) Read(demand float64, done Completion) {
-	r.pickRead().Submit(demand, done)
+	r.pickRead().submit(demand, completionFunc(done))
+}
+
+// readJob is the allocation-free form of Read used by the request router.
+func (r *RAIDb) readJob(demand float64, done jobDone) {
+	r.pickRead().submit(demand, done)
+}
+
+// writeCall tracks one broadcast write across the replicas. Trackers are
+// pooled on the RAIDb so steady-state writes allocate nothing.
+type writeCall struct {
+	r         *RAIDb
+	parent    jobDone
+	remaining int
+	allOK     bool
+	maxWait   float64
+	maxSvc    float64
+}
+
+func (w *writeCall) jobFinished(ok bool, wait, service float64) {
+	w.remaining--
+	if !ok {
+		w.allOK = false
+	}
+	if wait > w.maxWait {
+		w.maxWait = wait
+	}
+	if service > w.maxSvc {
+		w.maxSvc = service
+	}
+	if w.remaining == 0 {
+		parent, allOK, maxWait, maxSvc := w.parent, w.allOK, w.maxWait, w.maxSvc
+		w.parent = nil
+		w.r.wpool = append(w.r.wpool, w)
+		parent.jobFinished(allOK, maxWait, maxSvc)
+	}
 }
 
 // Write broadcasts a write to every replica; done fires once, when the
@@ -62,25 +100,25 @@ func (r *RAIDb) Read(demand float64, done Completion) {
 // like the real controller, the broadcast has already been issued — but
 // the request is reported failed.
 func (r *RAIDb) Write(demand float64, done Completion) {
-	remaining := len(r.replicas)
-	allOK := true
-	var maxWait, maxSvc float64
+	r.writeJob(demand, completionFunc(done))
+}
+
+// writeJob is the allocation-free form of Write used by the request
+// router.
+func (r *RAIDb) writeJob(demand float64, done jobDone) {
+	var w *writeCall
+	if n := len(r.wpool); n > 0 {
+		w = r.wpool[n-1]
+		r.wpool = r.wpool[:n-1]
+	} else {
+		w = &writeCall{r: r}
+	}
+	w.parent = done
+	w.remaining = len(r.replicas)
+	w.allOK = true
+	w.maxWait, w.maxSvc = 0, 0
 	for _, rep := range r.replicas {
-		rep.Submit(demand, func(ok bool, wait, service float64) {
-			remaining--
-			if !ok {
-				allOK = false
-			}
-			if wait > maxWait {
-				maxWait = wait
-			}
-			if service > maxSvc {
-				maxSvc = service
-			}
-			if remaining == 0 {
-				done(allOK, maxWait, maxSvc)
-			}
-		})
+		rep.submit(demand, w)
 	}
 }
 

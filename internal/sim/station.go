@@ -7,6 +7,21 @@ import "fmt"
 // the time the job spent queued and in service, in seconds.
 type Completion func(ok bool, wait, service float64)
 
+// jobDone is the allocation-free form of Completion: hot-path callers
+// (the n-tier request router, the RAIDb write broadcaster) implement it on
+// pooled objects so a request traverses the whole tier chain without
+// allocating a closure per hop.
+type jobDone interface {
+	jobFinished(ok bool, wait, service float64)
+}
+
+// completionFunc adapts a Completion closure to the jobDone interface.
+// Converting a func value to an interface does not allocate, so the public
+// Submit/Read/Write entry points cost the same as before.
+type completionFunc Completion
+
+func (f completionFunc) jobFinished(ok bool, wait, service float64) { f(ok, wait, service) }
+
 // Station models one host resource (a server process bound to a node CPU)
 // as a multi-server FCFS queue. Service demands are specified at a
 // reference CPU frequency and divided by the station's speed factor, so a
@@ -27,8 +42,14 @@ type Station struct {
 	detSvc  bool
 
 	busy   int
-	queue  []pendingJob
+	queue  []pendingJob // ring: live entries are queue[qhead:]
+	qhead  int
 	failed bool
+
+	// slots hold in-service jobs; the kernel's actor events carry the slot
+	// index, so a service completion costs no allocation.
+	slots []svcSlot
+	free  []int32
 
 	// accounting
 	busyTime   float64 // integral of busy servers over time, in server-seconds
@@ -41,7 +62,13 @@ type Station struct {
 type pendingJob struct {
 	demand  float64
 	arrived float64
-	done    Completion
+	done    jobDone
+}
+
+type svcSlot struct {
+	jd   jobDone
+	wait float64
+	svc  float64
 }
 
 // StationConfig configures a Station.
@@ -85,8 +112,11 @@ func (s *Station) Name() string { return s.name }
 // Servers reports the number of parallel servers.
 func (s *Station) Servers() int { return s.servers }
 
+// queued reports the number of jobs waiting in the ring buffer.
+func (s *Station) queued() int { return len(s.queue) - s.qhead }
+
 // InFlight reports jobs currently queued or in service.
-func (s *Station) InFlight() int { return s.busy + len(s.queue) }
+func (s *Station) InFlight() int { return s.busy + s.queued() }
 
 // Completed reports the number of jobs served to completion.
 func (s *Station) Completed() int64 { return s.completed }
@@ -114,14 +144,19 @@ func (s *Station) Failed() bool { return s.failed }
 // reference frequency). done is invoked exactly once: immediately with
 // ok=false on rejection, or at service completion with ok=true.
 func (s *Station) Submit(demand float64, done Completion) {
+	s.submit(demand, completionFunc(done))
+}
+
+// submit is the allocation-free entry point used inside the package.
+func (s *Station) submit(demand float64, done jobDone) {
 	if s.failed {
 		s.rejected++
-		done(false, 0, 0)
+		done.jobFinished(false, 0, 0)
 		return
 	}
-	if s.maxJobs > 0 && s.busy+len(s.queue) >= s.maxJobs {
+	if s.maxJobs > 0 && s.busy+s.queued() >= s.maxJobs {
 		s.rejected++
-		done(false, 0, 0)
+		done.jobFinished(false, 0, 0)
 		return
 	}
 	j := pendingJob{demand: demand, arrived: s.k.Now(), done: done}
@@ -130,8 +165,8 @@ func (s *Station) Submit(demand float64, done Completion) {
 		return
 	}
 	s.queue = append(s.queue, j)
-	if len(s.queue) > s.queuedPeak {
-		s.queuedPeak = len(s.queue)
+	if q := s.queued(); q > s.queuedPeak {
+		s.queuedPeak = q
 	}
 }
 
@@ -143,18 +178,39 @@ func (s *Station) start(j pendingJob) {
 		svc = s.k.Exp(svc)
 	}
 	wait := s.k.Now() - j.arrived
-	s.k.Schedule(svc, func() {
-		s.accumulate()
-		s.busy--
-		s.completed++
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
-			s.queue = s.queue[:len(s.queue)-1]
-			s.start(next)
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slots = append(s.slots, svcSlot{})
+		slot = int32(len(s.slots) - 1)
+	}
+	s.slots[slot] = svcSlot{jd: j.done, wait: wait, svc: svc}
+	s.k.scheduleAct(svc, s, slot)
+}
+
+// act completes the service occupying the given slot. It implements the
+// kernel's actor interface, so a completion event carries only the slot
+// index rather than an allocated closure.
+func (s *Station) act(slot int32) {
+	sl := s.slots[slot]
+	s.slots[slot] = svcSlot{}
+	s.free = append(s.free, slot)
+	s.accumulate()
+	s.busy--
+	s.completed++
+	if s.qhead < len(s.queue) {
+		next := s.queue[s.qhead]
+		s.queue[s.qhead] = pendingJob{}
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qhead = 0
 		}
-		j.done(true, wait, svc)
-	})
+		s.start(next)
+	}
+	sl.jd.jobFinished(true, sl.wait, sl.svc)
 }
 
 // accumulate folds busy-server time since the last state change into the
@@ -194,5 +250,5 @@ func (s *Station) ResetAccounting() {
 	s.busyTime = 0
 	s.completed = 0
 	s.rejected = 0
-	s.queuedPeak = len(s.queue)
+	s.queuedPeak = s.queued()
 }

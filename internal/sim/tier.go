@@ -79,17 +79,28 @@ func (t *Tier) pick() *Station {
 // Submit dispatches a job with the given reference demand to one station
 // chosen by the balancing policy.
 func (t *Tier) Submit(demand float64, done Completion) {
-	t.pick().Submit(demand, done)
+	t.pick().submit(demand, completionFunc(done))
+}
+
+// submitJob is the allocation-free form of Submit used by the request
+// router.
+func (t *Tier) submitJob(demand float64, done jobDone) {
+	t.pick().submit(demand, done)
 }
 
 // SubmitPinned dispatches to the station assigned to affinity key pin,
 // as Apache mod_jk's sticky sessions pin a user's session to one
 // application server.
 func (t *Tier) SubmitPinned(pin int, demand float64, done Completion) {
+	t.submitPinnedJob(pin, demand, completionFunc(done))
+}
+
+// submitPinnedJob is the allocation-free form of SubmitPinned.
+func (t *Tier) submitPinnedJob(pin int, demand float64, done jobDone) {
 	if pin < 0 {
 		pin = -pin
 	}
-	t.stations[pin%len(t.stations)].Submit(demand, done)
+	t.stations[pin%len(t.stations)].submit(demand, done)
 }
 
 // Completed sums completed jobs across the tier's stations.

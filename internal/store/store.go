@@ -309,11 +309,37 @@ func (s *Store) surface(experiment, topology string, y func(Result) float64) Sur
 	return sf
 }
 
-// MarshalJSON serializes the whole store.
+// keyLess orders results canonically: experiment, topology (scale-out
+// order), write ratio, then users.
+func keyLess(a, b Key) bool {
+	if a.Experiment != b.Experiment {
+		return a.Experiment < b.Experiment
+	}
+	if a.Topology != b.Topology {
+		return topoLess(a.Topology, b.Topology)
+	}
+	if a.WriteRatioPct != b.WriteRatioPct {
+		return a.WriteRatioPct < b.WriteRatioPct
+	}
+	return a.Users < b.Users
+}
+
+// sortedResults snapshots the results in canonical key order. Serialized
+// output is therefore byte-identical however trials were scheduled —
+// concurrent sweeps insert in nondeterministic order, but exports never
+// show it. Callers must hold at least a read lock.
+func (s *Store) sortedResults() []*Result {
+	out := make([]*Result, len(s.results))
+	copy(out, s.results)
+	sort.SliceStable(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
+// MarshalJSON serializes the whole store in canonical key order.
 func (s *Store) MarshalJSON() ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return json.MarshalIndent(s.results, "", "  ")
+	return json.MarshalIndent(s.sortedResults(), "", "  ")
 }
 
 // LoadJSON replaces the store's contents with serialized results.
@@ -332,13 +358,13 @@ func (s *Store) LoadJSON(data []byte) error {
 	return nil
 }
 
-// CSV renders all results as a flat CSV table.
+// CSV renders all results as a flat CSV table in canonical key order.
 func (s *Store) CSV() string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var b strings.Builder
 	b.WriteString("experiment,topology,users,write_ratio_pct,completed,avg_rt_ms,p90_ms,throughput_rps,requests,errors,web_cpu,app_cpu,db_cpu\n")
-	for _, r := range s.results {
+	for _, r := range s.sortedResults() {
 		fmt.Fprintf(&b, "%s,%s,%d,%g,%t,%.2f,%.2f,%.2f,%d,%d,%.1f,%.1f,%.1f\n",
 			r.Key.Experiment, r.Key.Topology, r.Key.Users, r.Key.WriteRatioPct,
 			r.Completed, r.AvgRTms, r.P90ms, r.Throughput, r.Requests, r.Errors,
