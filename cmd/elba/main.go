@@ -39,6 +39,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 1, "concurrent deployments per sweep")
 	trialParallel := fs.Int("trialparallel", 1, "concurrent trials per deployment's workload grid (results identical for any value)")
 	seed := fs.Uint64("seed", 0, "root seed mixed into every trial seed (0 = default derivation)")
+	faults := fs.String("faults", "", "inject a built-in fault profile: none, light, or heavy")
+	trialRetries := fs.Int("trialretries", 0, "re-run each failed workload point up to this many extra times")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
@@ -67,6 +69,8 @@ func run(args []string) error {
 		Parallel:      *parallel,
 		TrialParallel: *trialParallel,
 		Seed:          *seed,
+		FaultProfile:  *faults,
+		TrialRetries:  *trialRetries,
 		OnTrial: func(r store.Result) {
 			status := "ok"
 			if !r.Completed {
@@ -103,6 +107,18 @@ func run(args []string) error {
 
 	fmt.Println()
 	fmt.Print(report.Table3Scale(c.ScaleRows(core.FigureOf)))
+
+	// Render the availability table for every experiment that ran under a
+	// fault profile (via -faults or its own TBL declaration).
+	for _, e := range doc.Experiments {
+		faulted := c.Results().Filter(func(r store.Result) bool {
+			return r.Key.Experiment == e.Name && r.FaultProfile != ""
+		})
+		if len(faulted) > 0 {
+			fmt.Println()
+			fmt.Print(report.TableAvailability(c.Results(), e.Name))
+		}
+	}
 
 	if *jsonOut != "" {
 		data, err := c.Results().MarshalJSON()

@@ -1,0 +1,31 @@
+package cim
+
+import "testing"
+
+// FuzzParseMOF fuzzes the MOF front end with the built-in catalog as the
+// seed corpus: the parser must never panic or hang, and any input it
+// accepts must survive a repository WriteMOF/LoadMOF round trip.
+func FuzzParseMOF(f *testing.F) {
+	f.Add(catalogMOF)
+	f.Add(`class Elba_Node { string Name; uint32 CPUMHz = 3000; };`)
+	f.Add(`instance of Elba_Node { Name = "a"; Values = {1, 2.5, "x"}; };`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		classes, instances, err := Parse(src)
+		if err != nil {
+			return
+		}
+		repo := NewRepository()
+		if err := repo.LoadMOF(src); err != nil {
+			// LoadMOF layers semantic checks (e.g. instances must name a
+			// declared class) on top of the grammar; rejecting is fine.
+			return
+		}
+		rendered := repo.WriteMOF()
+		re := NewRepository()
+		if err := re.LoadMOF(rendered); err != nil {
+			t.Fatalf("WriteMOF output does not re-parse: %v\n--- classes %d, instances %d ---\n%s",
+				err, len(classes), len(instances), rendered)
+		}
+	})
+}

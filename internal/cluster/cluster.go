@@ -49,6 +49,35 @@ func (s ServiceState) String() string {
 	}
 }
 
+// Health is a node's hardware health state, set by fault injection and
+// consumed by the simulation kernel through EffectiveSpeed.
+type Health int
+
+// Node health states.
+const (
+	// Healthy nodes run at their pool's rated speed.
+	Healthy Health = iota
+	// Degraded nodes run at a fraction of their rated speed (a slow node:
+	// thermal throttling, a failing disk, noisy neighbours).
+	Degraded
+	// Down nodes are out of service entirely.
+	Down
+)
+
+// String names the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
 // Node is one simulated machine.
 type Node struct {
 	name string
@@ -56,6 +85,9 @@ type Node struct {
 
 	allocated bool
 	role      string
+
+	health      Health
+	degradation float64 // effective-speed multiplier; 0 means unset (= 1)
 
 	services map[string]ServiceState
 	versions map[string]string
@@ -69,8 +101,52 @@ func (n *Node) Name() string { return n.name }
 // to.
 func (n *Node) Pool() cim.NodePool { return n.pool }
 
-// Speed reports the node's CPU frequency relative to the reference.
+// Speed reports the node's rated CPU frequency relative to the reference.
 func (n *Node) Speed() float64 { return float64(n.pool.CPUMHz) / ReferenceMHz }
+
+// Health reports the node's hardware health state.
+func (n *Node) Health() Health { return n.health }
+
+// Degradation reports the node's effective-speed multiplier (1 = full
+// rated speed). Down nodes report 0.
+func (n *Node) Degradation() float64 {
+	switch {
+	case n.health == Down:
+		return 0
+	case n.degradation <= 0 || n.degradation > 1:
+		return 1
+	default:
+		return n.degradation
+	}
+}
+
+// EffectiveSpeed is the speed the simulation kernel consumes: the rated
+// speed scaled by the node's degradation factor. For a healthy node it
+// equals Speed.
+func (n *Node) EffectiveSpeed() float64 { return n.Speed() * n.Degradation() }
+
+// Degrade marks the node degraded with the given effective-speed factor
+// in (0, 1). Factors outside that range restore the node instead.
+func (n *Node) Degrade(factor float64) {
+	if factor <= 0 || factor >= 1 {
+		n.Restore()
+		return
+	}
+	n.health = Degraded
+	n.degradation = factor
+}
+
+// MarkDown takes the node out of service entirely.
+func (n *Node) MarkDown() {
+	n.health = Down
+	n.degradation = 0
+}
+
+// Restore returns the node to full health.
+func (n *Node) Restore() {
+	n.health = Healthy
+	n.degradation = 0
+}
 
 // Cores reports the number of CPUs.
 func (n *Node) Cores() int {
@@ -171,10 +247,14 @@ func (n *Node) Files() []string {
 	return out
 }
 
-// reset returns the node to pristine state on release.
+// reset returns the node to pristine state on release. Health is
+// restored too: a release models handing the machine back to the testbed
+// operator, who fixes it before the next allocation.
 func (n *Node) reset() {
 	n.allocated = false
 	n.role = ""
+	n.health = Healthy
+	n.degradation = 0
 	n.services = map[string]ServiceState{}
 	n.versions = map[string]string{}
 	n.files = map[string]string{}
@@ -239,7 +319,7 @@ func (c *Cluster) Node(name string) (*Node, bool) {
 // order, then index).
 func (c *Cluster) Allocate(nodeType, role string) (*Node, error) {
 	for _, node := range c.nodes {
-		if node.allocated {
+		if node.allocated || node.health == Down {
 			continue
 		}
 		if nodeType != "" && node.pool.NodeType != nodeType {

@@ -1,0 +1,73 @@
+package cluster
+
+import "testing"
+
+func TestNodeHealthLifecycle(t *testing.T) {
+	c := emulab(t)
+	n, _ := c.Node("emulab-high-001")
+	if n.Health() != Healthy || n.Degradation() != 1 || n.EffectiveSpeed() != n.Speed() {
+		t.Fatalf("fresh node not healthy at full speed: %v %g", n.Health(), n.Degradation())
+	}
+
+	n.Degrade(0.5)
+	if n.Health() != Degraded || n.Degradation() != 0.5 {
+		t.Fatalf("after Degrade(0.5): health=%v factor=%g", n.Health(), n.Degradation())
+	}
+	if got, want := n.EffectiveSpeed(), n.Speed()*0.5; got != want {
+		t.Fatalf("effective speed = %g, want %g", got, want)
+	}
+
+	n.MarkDown()
+	if n.Health() != Down || n.Degradation() != 0 || n.EffectiveSpeed() != 0 {
+		t.Fatalf("down node still has capacity: %v %g", n.Health(), n.EffectiveSpeed())
+	}
+
+	n.Restore()
+	if n.Health() != Healthy || n.EffectiveSpeed() != n.Speed() {
+		t.Fatalf("restore did not return full speed: %v %g", n.Health(), n.EffectiveSpeed())
+	}
+}
+
+func TestDegradeOutOfRangeRestores(t *testing.T) {
+	c := emulab(t)
+	n, _ := c.Node("emulab-high-001")
+	for _, f := range []float64{0, -1, 1, 2.5} {
+		n.Degrade(0.5)
+		n.Degrade(f)
+		if n.Health() != Healthy || n.Degradation() != 1 {
+			t.Fatalf("Degrade(%g) should restore, got %v %g", f, n.Health(), n.Degradation())
+		}
+	}
+}
+
+func TestAllocateSkipsDownNodes(t *testing.T) {
+	c := emulab(t)
+	first, _ := c.Node("emulab-low-001")
+	first.MarkDown()
+	n, err := c.Allocate("low-end", "DB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() == first.Name() {
+		t.Fatalf("allocated the down node %s", n.Name())
+	}
+	if n.Name() != "emulab-low-002" {
+		t.Fatalf("allocation order changed: got %s", n.Name())
+	}
+}
+
+func TestReleaseRestoresHealth(t *testing.T) {
+	c := emulab(t)
+	n, err := c.Allocate("high-end", "APP1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Degrade(0.3)
+	c.Release(n)
+	if n.Health() != Healthy || n.Degradation() != 1 {
+		t.Fatalf("release kept degradation: %v %g", n.Health(), n.Degradation())
+	}
+	if n.Allocated() {
+		t.Fatal("release kept allocation")
+	}
+}

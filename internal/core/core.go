@@ -12,6 +12,7 @@ import (
 
 	"elba/internal/cim"
 	"elba/internal/experiment"
+	"elba/internal/fault"
 	"elba/internal/mulini"
 	"elba/internal/report"
 	"elba/internal/spec"
@@ -34,6 +35,13 @@ type Options struct {
 	// the same Seed produce identical results; different Seeds re-run the
 	// same experiments under an independent random universe.
 	Seed uint64
+	// FaultProfile names a built-in fault profile ("none", "light",
+	// "heavy") to inject into every experiment, overriding any profile an
+	// experiment declares itself. Empty defers to the TBL declarations.
+	FaultProfile string
+	// TrialRetries re-runs each failed workload point up to this many
+	// extra times with fresh attempt-mixed seeds (0 = no retries).
+	TrialRetries int
 	// Catalog overrides the built-in CIM resource model.
 	Catalog *cim.Catalog
 	// Store receives results; a fresh store is created when nil.
@@ -82,6 +90,15 @@ func New(opts Options) (*Characterizer, error) {
 		runner.TrialParallel = opts.TrialParallel
 	}
 	runner.Seed = opts.Seed
+	if opts.FaultProfile != "" {
+		prof, ok := fault.ProfileByName(opts.FaultProfile)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown fault profile %q (have %v)",
+				opts.FaultProfile, fault.Profiles())
+		}
+		runner.FaultProfile = &prof
+	}
+	runner.TrialRetries = opts.TrialRetries
 	c := &Characterizer{
 		catalog:   cat,
 		runner:    runner,

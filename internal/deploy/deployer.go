@@ -14,6 +14,11 @@ type Placement struct {
 	Deployment *mulini.Deployment
 	// Nodes maps role names to allocated nodes.
 	Nodes map[string]*cluster.Node
+	// Retries counts deployment-step retries performed executing run.sh.
+	Retries int
+	// DeploySec is the simulated time spent in step timeouts and retry
+	// backoffs while deploying.
+	DeploySec float64
 }
 
 // Node returns the node bound to a role.
@@ -37,12 +42,29 @@ func (p *Placement) TierNodes(tier string) []*cluster.Node {
 // the resulting cluster state.
 type Deployer struct {
 	cluster *cluster.Cluster
+
+	policy      RetryPolicy
+	stepFault   StepFault
+	nodeFactors map[string]float64
 }
 
 // NewDeployer creates a deployer bound to a cluster.
 func NewDeployer(c *cluster.Cluster) *Deployer {
 	return &Deployer{cluster: c}
 }
+
+// SetRetryPolicy installs the per-step retry policy used for every bundle
+// this deployer executes. The zero policy keeps pure set -e semantics.
+func (dp *Deployer) SetRetryPolicy(p RetryPolicy) { dp.policy = p }
+
+// SetStepFault installs a transient-failure injector shared by every
+// engine this deployer creates.
+func (dp *Deployer) SetStepFault(f StepFault) { dp.stepFault = f }
+
+// SetNodeFactors installs deployment-scope hardware degradation: after a
+// successful deploy, each listed role's node is marked degraded with the
+// given effective-speed factor.
+func (dp *Deployer) SetNodeFactors(m map[string]float64) { dp.nodeFactors = m }
 
 // Deploy executes the deployment's run.sh and verifies that every role's
 // services are running. On failure the cluster may hold partial state;
@@ -52,10 +74,17 @@ func (dp *Deployer) Deploy(d *mulini.Deployment) (*Placement, error) {
 		return nil, fmt.Errorf("deploy: deployment %s has no generated bundle", d.Topology)
 	}
 	eng := NewEngine(dp.cluster)
+	eng.SetRetryPolicy(dp.policy)
+	eng.SetStepFault(dp.stepFault)
 	if err := eng.Execute(d.Bundle, "run.sh"); err != nil {
 		return nil, err
 	}
-	p := &Placement{Deployment: d, Nodes: map[string]*cluster.Node{}}
+	p := &Placement{
+		Deployment: d,
+		Nodes:      map[string]*cluster.Node{},
+		Retries:    eng.Retries(),
+		DeploySec:  eng.ElapsedSec(),
+	}
 	for _, a := range d.Assignments {
 		node, ok := eng.Node(a.Role)
 		if !ok {
@@ -69,12 +98,22 @@ func (dp *Deployer) Deploy(d *mulini.Deployment) (*Placement, error) {
 			}
 		}
 	}
+	// Apply deployment-scope hardware degradation once the binding is
+	// known. Factors are set before any trial starts and only read after,
+	// so concurrent trials see a consistent node speed.
+	for role, f := range dp.nodeFactors {
+		if node, ok := p.Nodes[role]; ok {
+			node.Degrade(f)
+		}
+	}
 	return p, nil
 }
 
 // Undeploy executes teardown.sh, stopping services and releasing nodes.
 func (dp *Deployer) Undeploy(p *Placement) error {
 	eng := NewEngine(dp.cluster)
+	eng.SetRetryPolicy(dp.policy)
+	eng.SetStepFault(dp.stepFault)
 	// Rebind existing roles so teardown can address them.
 	for role, node := range p.Nodes {
 		eng.roles[role] = node

@@ -10,6 +10,7 @@
 package deploy
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -30,18 +31,71 @@ type Action struct {
 	Line   int
 }
 
+// RetryPolicy bounds the engine's per-step retry behaviour. The zero
+// policy keeps the historical pure set -e semantics: one attempt per
+// step, the first failure aborts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per elbactl step
+	// (minimum 1; 1 = no retry).
+	MaxAttempts int
+	// BaseBackoffSec is the simulated wait before the first retry; it
+	// doubles on every further attempt (bounded exponential backoff).
+	BaseBackoffSec float64
+	// StepTimeoutSec is the simulated cost charged for each failed
+	// attempt, modelling a per-step timeout expiring before retry.
+	StepTimeoutSec float64
+}
+
+// DefaultRetryPolicy is the policy the experiment runner applies when a
+// fault profile is active: up to 4 attempts per step, 2 s initial
+// backoff, 30 s per-step timeout.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 4, BaseBackoffSec: 2, StepTimeoutSec: 30}
+
+// StepFault decides how many transient failures an elbactl step suffers
+// before it can succeed (0 = none). Fault profiles derive this
+// deterministically from the step's script/line coordinates.
+type StepFault func(script string, line int, verb, role string) int
+
+// errTransient marks an injected transient step failure (a timed-out
+// ssh, an unreachable package mirror).
+var errTransient = errors.New("transient failure injected (step timed out)")
+
 // Engine interprets deployment bundles against a cluster.
 type Engine struct {
 	cluster  *cluster.Cluster
 	roles    map[string]*cluster.Node
 	audit    []Action
 	maxDepth int
+
+	policy  RetryPolicy
+	faultFn StepFault
+
+	steps      int
+	retries    int
+	elapsedSec float64
 }
 
 // NewEngine creates an engine bound to a cluster.
 func NewEngine(c *cluster.Cluster) *Engine {
 	return &Engine{cluster: c, roles: map[string]*cluster.Node{}, maxDepth: 16}
 }
+
+// SetRetryPolicy installs a per-step retry policy.
+func (e *Engine) SetRetryPolicy(p RetryPolicy) { e.policy = p }
+
+// SetStepFault installs a transient-failure injector consulted once per
+// elbactl step.
+func (e *Engine) SetStepFault(f StepFault) { e.faultFn = f }
+
+// Retries reports the total step retries performed so far.
+func (e *Engine) Retries() int { return e.retries }
+
+// ElapsedSec reports the simulated time spent in step timeouts and
+// retry backoffs.
+func (e *Engine) ElapsedSec() float64 { return e.elapsedSec }
+
+// Steps reports the number of elbactl steps executed (or attempted).
+func (e *Engine) Steps() int { return e.steps }
 
 // Node resolves a role to its allocated node.
 func (e *Engine) Node(role string) (*cluster.Node, bool) {
@@ -101,7 +155,12 @@ func (e *Engine) executeScript(b *mulini.Bundle, path string, depth int) error {
 	return nil
 }
 
-// execElbactl parses and executes one elbactl command line.
+// execElbactl parses and executes one elbactl command line. Malformed
+// lines fail immediately; well-formed steps run under the engine's retry
+// policy, with injected transient failures consuming attempts before the
+// verb executes (the model is an ssh or mirror timeout: the command never
+// ran, so retrying is safe). Audit entries are recorded only for steps
+// that succeed.
 func (e *Engine) execElbactl(b *mulini.Bundle, line, script string, lineNo int) error {
 	words, err := splitWords(line)
 	if err != nil {
@@ -119,79 +178,113 @@ func (e *Engine) execElbactl(b *mulini.Bundle, line, script string, lineNo int) 
 	if role == "" {
 		return fmt.Errorf("deploy: elbactl %s requires --role", verb)
 	}
-	record := func(arg string) {
-		e.audit = append(e.audit, Action{Verb: verb, Role: role, Arg: arg, Script: script, Line: lineNo})
+
+	step := e.steps
+	e.steps++
+	glitches := 0
+	if e.faultFn != nil {
+		glitches = e.faultFn(script, lineNo, verb, role)
 	}
+	attempts := e.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		var stepErr error
+		if attempt <= glitches {
+			stepErr = errTransient
+		} else {
+			var arg string
+			arg, stepErr = e.applyVerb(b, verb, role, flags)
+			if stepErr == nil {
+				e.audit = append(e.audit, Action{Verb: verb, Role: role, Arg: arg, Script: script, Line: lineNo})
+				return nil
+			}
+		}
+		if attempt >= attempts {
+			return fmt.Errorf("deploy: step %d (%s --role %s on %s) failed after %d attempt(s): %w",
+				step, verb, role, e.nodeName(role), attempt, stepErr)
+		}
+		// The attempt timed out or failed: charge the step timeout plus a
+		// doubling backoff before the next try, in simulated seconds.
+		e.retries++
+		e.elapsedSec += e.policy.StepTimeoutSec + e.policy.BaseBackoffSec*float64(int64(1)<<uint(attempt-1))
+	}
+}
+
+// nodeName resolves a role to its node's hostname for error messages.
+func (e *Engine) nodeName(role string) string {
+	if n, ok := e.roles[role]; ok {
+		return n.Name()
+	}
+	return "unbound"
+}
+
+// applyVerb performs one elbactl verb and returns the audit argument.
+func (e *Engine) applyVerb(b *mulini.Bundle, verb, role string, flags map[string]string) (string, error) {
 	switch verb {
 	case "allocate":
 		if _, dup := e.roles[role]; dup {
-			return fmt.Errorf("deploy: role %s already allocated", role)
+			return "", fmt.Errorf("deploy: role %s already allocated", role)
 		}
 		node, err := e.cluster.Allocate(flags["type"], role)
 		if err != nil {
-			return err
+			return "", err
 		}
 		e.roles[role] = node
-		record(flags["type"])
-		return nil
+		return flags["type"], nil
 	case "release":
 		node, ok := e.roles[role]
 		if !ok {
-			return fmt.Errorf("deploy: release of unbound role %s", role)
+			return "", fmt.Errorf("deploy: release of unbound role %s", role)
 		}
 		e.cluster.Release(node)
 		delete(e.roles, role)
-		record("")
-		return nil
+		return "", nil
 	}
 
 	node, ok := e.roles[role]
 	if !ok {
-		return fmt.Errorf("deploy: role %s not allocated before %s", role, verb)
+		return "", fmt.Errorf("deploy: role %s not allocated before %s", role, verb)
 	}
 	switch verb {
 	case "install":
 		pkg := flags["package"]
 		if pkg == "" {
-			return fmt.Errorf("deploy: install requires --package")
+			return "", fmt.Errorf("deploy: install requires --package")
 		}
-		record(pkg)
-		return node.Install(pkg, flags["version"])
+		return pkg, node.Install(pkg, flags["version"])
 	case "configure":
 		pkg := flags["package"]
 		if pkg == "" {
-			return fmt.Errorf("deploy: configure requires --package")
+			return "", fmt.Errorf("deploy: configure requires --package")
 		}
-		record(pkg)
-		return node.Configure(pkg)
+		return pkg, node.Configure(pkg)
 	case "push":
 		dest, artifact := flags["file"], flags["artifact"]
 		if dest == "" || artifact == "" {
-			return fmt.Errorf("deploy: push requires --file and --artifact")
+			return "", fmt.Errorf("deploy: push requires --file and --artifact")
 		}
 		src, ok := b.Get(artifact)
 		if !ok {
-			return fmt.Errorf("deploy: push references missing artifact %q", artifact)
+			return "", fmt.Errorf("deploy: push references missing artifact %q", artifact)
 		}
 		node.WriteFile(dest, src.Content)
-		record(dest)
-		return nil
+		return dest, nil
 	case "start":
 		svc := flags["service"]
 		if svc == "" {
-			return fmt.Errorf("deploy: start requires --service")
+			return "", fmt.Errorf("deploy: start requires --service")
 		}
-		record(svc)
-		return node.Start(svc)
+		return svc, node.Start(svc)
 	case "stop":
 		svc := flags["service"]
 		if svc == "" {
-			return fmt.Errorf("deploy: stop requires --service")
+			return "", fmt.Errorf("deploy: stop requires --service")
 		}
-		record(svc)
-		return node.Stop(svc)
+		return svc, node.Stop(svc)
 	default:
-		return fmt.Errorf("deploy: unknown elbactl verb %q", verb)
+		return "", fmt.Errorf("deploy: unknown elbactl verb %q", verb)
 	}
 }
 

@@ -50,6 +50,7 @@ func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *dep
 		if cfg.RootSeed != 0 {
 			base = mixRootSeed(base, cfg.RootSeed, e.Name)
 		}
+		base = mixAttempt(base, cfg.Attempt)
 	}
 
 	outs := make([]*TrialOutcome, repeat)
@@ -105,6 +106,7 @@ func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *dep
 			agg.TierCPU = map[string]float64{}
 			agg.HostCPU = map[string]float64{}
 			agg.Requests, agg.Errors, agg.CollectedBytes = 0, 0, 0
+			agg.InjectedErrors = 0
 			agg.MaxRTms = 0
 			agg.Completed = true
 		}
@@ -118,6 +120,7 @@ func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *dep
 		}
 		agg.Requests += r.Requests
 		agg.Errors += r.Errors
+		agg.InjectedErrors += r.InjectedErrors
 		agg.CollectedBytes += r.CollectedBytes
 		if !r.Completed {
 			agg.Completed = false

@@ -11,6 +11,7 @@ import (
 	"elba/internal/cim"
 	"elba/internal/cluster"
 	"elba/internal/deploy"
+	"elba/internal/fault"
 	"elba/internal/mulini"
 	"elba/internal/spec"
 	"elba/internal/store"
@@ -57,6 +58,18 @@ type Runner struct {
 	// seed together with the experiment name. Zero keeps the historical
 	// per-experiment derivation.
 	Seed uint64
+	// FaultProfile, when set and enabled, injects deterministic faults
+	// into every deployment and trial: slow nodes and deploy-step glitches
+	// at deployment scope, crash/slowdown/stall/errorburst windows inside
+	// trials. Nil falls back to the experiment's own `profile` declaration
+	// (if any). Plans derive purely from (Seed, coordinates), so seeded
+	// runs stay byte-identical for every Parallel/TrialParallel value.
+	FaultProfile *fault.Profile
+	// TrialRetries is the per-workload-point retry budget: a trial that
+	// fails to complete is re-run up to this many extra times, each with a
+	// fresh attempt-mixed seed, and the last attempt's result is kept
+	// (0 = no retries).
+	TrialRetries int
 
 	// clusterMu serializes cluster mutations (allocate/deploy/release).
 	clusterMu sync.Mutex
@@ -111,7 +124,6 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 	if err != nil {
 		return err
 	}
-	deployer := deploy.NewDeployer(cl)
 
 	workers := r.Parallel
 	if workers < 1 {
@@ -135,7 +147,7 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 	}
 	if workers == 1 {
 		for _, d := range deployments {
-			if err := r.runDeployment(e, deployer, d); err != nil {
+			if err := r.runDeployment(e, cl, d); err != nil {
 				return err
 			}
 		}
@@ -158,7 +170,7 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 		go func(w int) {
 			defer wg.Done()
 			for d := range jobs {
-				if err := r.runDeployment(e, deployer, d); err != nil {
+				if err := r.runDeployment(e, cl, d); err != nil {
 					workerErrs[w] = err
 					return
 				}
@@ -169,10 +181,83 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 	return errors.Join(workerErrs...)
 }
 
+// profileFor resolves the fault profile for an experiment: the runner's
+// override wins, else the experiment's own TBL declaration, else none.
+func (r *Runner) profileFor(e *spec.Experiment) fault.Profile {
+	if r.FaultProfile != nil {
+		return *r.FaultProfile
+	}
+	if e.FaultProfile != "" {
+		if p, ok := fault.ProfileByName(e.FaultProfile); ok {
+			return p
+		}
+	}
+	return fault.Profile{}
+}
+
+// serverRoles lists the deployment's server roles in canonical (tier,
+// replica) order — the coordinate basis for fault-plan derivation.
+func serverRoles(d *mulini.Deployment) []string {
+	var roles []string
+	for _, tier := range []string{"web", "app", "db"} {
+		roles = append(roles, d.Roles(tier)...)
+	}
+	return roles
+}
+
+// armDeployer wires an enabled fault profile into a deployer: slow-node
+// degradation factors, the retry policy, and the step-glitch injector.
+// Everything derives from (Seed, experiment, topology) coordinates.
+func (r *Runner) armDeployer(dp *deploy.Deployer, prof fault.Profile, e *spec.Experiment, d *mulini.Deployment) {
+	if !prof.Enabled() {
+		return
+	}
+	topo := d.Topology.String()
+	dp.SetNodeFactors(prof.NodeFactors(r.Seed, e.Name, topo, serverRoles(d)))
+	dp.SetRetryPolicy(deploy.DefaultRetryPolicy)
+	dp.SetStepFault(func(script string, line int, verb, role string) int {
+		return prof.GlitchCount(r.Seed, e.Name, topo, script, line)
+	})
+}
+
+// runPoint runs one workload point, retrying failed trials up to the
+// runner's retry budget with attempt-mixed seeds. It returns the first
+// completed attempt, or the last attempt when the budget runs out.
+func (r *Runner) runPoint(e *spec.Experiment, d *mulini.Deployment, placement *deploy.Placement,
+	cfg TrialConfig, workers int) (*TrialOutcome, error) {
+
+	retries := r.TrialRetries
+	if retries < 0 {
+		retries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		acfg := cfg
+		acfg.Attempt = attempt
+		out, err := RunReplicatedTrialParallel(e, d, placement, acfg, e.Repeat, workers)
+		if err != nil || out == nil {
+			return out, err
+		}
+		// Record the attempt count only once a retry is actually spent, so
+		// untroubled sweeps serialize exactly as they did before retries
+		// existed (Attempts is omitempty and 0 means "one attempt").
+		if attempt > 0 {
+			out.Result.Attempts = attempt + 1
+		}
+		if out.Result.Completed || attempt >= retries {
+			return out, nil
+		}
+	}
+}
+
 // runDeployment deploys one topology and sweeps its workload grid.
 // Cluster mutations are serialized; the trials themselves run without
-// the lock, which is what makes sweep parallelism safe.
-func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d *mulini.Deployment) error {
+// the lock, which is what makes sweep parallelism safe. Each deployment
+// gets its own deployer so fault wiring never races across topologies.
+func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulini.Deployment) error {
+	deployer := deploy.NewDeployer(cl)
+	prof := r.profileFor(e)
+	r.armDeployer(deployer, prof, e, d)
+
 	r.clusterMu.Lock()
 	placement, err := deployer.Deploy(d)
 	r.clusterMu.Unlock()
@@ -203,12 +288,20 @@ func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d 
 		}
 	}
 
+	profName := ""
+	if prof.Enabled() {
+		profName = prof.Name
+	}
+	roles := serverRoles(d)
 	cfgFor := func(pt gridPoint) TrialConfig {
 		return TrialConfig{
 			Users:         pt.users,
 			WriteRatioPct: pt.wr,
 			TimeScale:     r.TimeScale,
 			RootSeed:      r.Seed,
+			FaultProfile:  profName,
+			FaultPlan: prof.TrialPlan(r.Seed, e.Name, d.Topology.String(), roles,
+				pt.users, pt.wr, e.Trial.RunSec),
 		}
 	}
 
@@ -222,7 +315,7 @@ func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d 
 
 	if workers <= 1 {
 		for _, pt := range points {
-			out, terr := RunReplicatedTrialParallel(e, d, placement, cfgFor(pt), e.Repeat, r.TrialParallel)
+			out, terr := r.runPoint(e, d, placement, cfgFor(pt), r.TrialParallel)
 			if terr != nil {
 				return fmt.Errorf("experiment %s/%s u=%d w=%g: %w",
 					e.Name, d.Topology, pt.users, pt.wr, terr)
@@ -268,7 +361,7 @@ func (r *Runner) runDeployment(e *spec.Experiment, deployer *deploy.Deployer, d 
 				if stop.Load() {
 					continue
 				}
-				out, terr := RunReplicatedTrialParallel(e, d, placement, cfgFor(points[i]), e.Repeat, 1)
+				out, terr := r.runPoint(e, d, placement, cfgFor(points[i]), 1)
 				outs[i], terrs[i] = out, terr
 				if !r.KeepGoingOnFailure && out != nil && !out.Result.Completed {
 					stop.Store(true)
@@ -325,6 +418,8 @@ func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, w
 		return nil, err
 	}
 	deployer := deploy.NewDeployer(cl)
+	prof := r.profileFor(e)
+	r.armDeployer(deployer, prof, e, d)
 	placement, err := deployer.Deploy(d)
 	if err != nil {
 		return nil, err
@@ -333,12 +428,19 @@ func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, w
 	if workers < 1 {
 		workers = 1
 	}
-	out, terr := RunReplicatedTrialParallel(e, d, placement, TrialConfig{
+	profName := ""
+	if prof.Enabled() {
+		profName = prof.Name
+	}
+	out, terr := r.runPoint(e, d, placement, TrialConfig{
 		Users:         users,
 		WriteRatioPct: writeRatioPct,
 		TimeScale:     r.TimeScale,
 		RootSeed:      r.Seed,
-	}, e.Repeat, workers)
+		FaultProfile:  profName,
+		FaultPlan: prof.TrialPlan(r.Seed, e.Name, d.Topology.String(), serverRoles(d),
+			users, writeRatioPct, e.Trial.RunSec),
+	}, workers)
 	if uerr := deployer.Undeploy(placement); uerr != nil && terr == nil {
 		terr = uerr
 	}

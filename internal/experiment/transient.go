@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elba/internal/deploy"
+	"elba/internal/fault"
 	"elba/internal/mulini"
 	"elba/internal/sim"
 	"elba/internal/spec"
@@ -77,6 +78,37 @@ func runTransientTrialSeeded(e *spec.Experiment, d *mulini.Deployment, p *deploy
 		RampUp:      5 * timeScale,
 		MaxSessions: maxSessions,
 	}, seed^0x7ea)
+
+	// Fault windows apply to transient trials too. There is no warm-up
+	// period here — the first phase measures its own transient — so fault
+	// times are relative to the schedule's start.
+	stationOf := map[string]*sim.Station{}
+	byTier := map[string][]*sim.Station{
+		"web": nt.Web.Stations(),
+		"app": nt.App.Stations(),
+		"db":  nt.DB.Replicas(),
+	}
+	for tier, stations := range byTier {
+		for i, role := range d.Roles(tier) {
+			if i < len(stations) {
+				stationOf[role] = stations[i]
+			}
+		}
+	}
+	for _, f := range e.Faults {
+		ev, err := specFaultEvent(f)
+		if err != nil {
+			return nil, err
+		}
+		if ev.Kind != fault.ErrorBurst {
+			if _, ok := stationOf[f.Role]; !ok {
+				return nil, fmt.Errorf("experiment: fault names role %s, absent from topology %s",
+					f.Role, d.Topology)
+			}
+		}
+		scheduleFault(k, driver, stationOf, ev, 0, timeScale)
+	}
+
 	driver.Start()
 
 	appBusy := func() float64 {
@@ -148,6 +180,7 @@ func (r *Runner) RunTransientAt(e *spec.Experiment, topo spec.Topology, schedule
 		return nil, err
 	}
 	deployer := deploy.NewDeployer(cl)
+	r.armDeployer(deployer, r.profileFor(e), e, d)
 	placement, err := deployer.Deploy(d)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"elba/internal/deploy"
+	"elba/internal/fault"
 	"elba/internal/monitor"
 	"elba/internal/mulini"
 	"elba/internal/sim"
@@ -32,6 +33,17 @@ type TrialConfig struct {
 	// stream stays a pure function of (root, experiment, topology, users,
 	// write ratio) — independent of worker count or execution order.
 	RootSeed uint64
+	// FaultPlan is the in-trial fault schedule to inject (nil = none).
+	// Event times are relative to the run period and scale with the trial.
+	FaultPlan []fault.Event
+	// FaultProfile names the profile that produced FaultPlan; it is
+	// recorded in the stored result ("" when no profile is active).
+	FaultProfile string
+	// Attempt is the retry-attempt index for this workload point (0 = the
+	// first try). Non-zero attempts are mixed into the derived seed so a
+	// retried trial draws a fresh random universe; attempt 0 preserves the
+	// historical derivation bit-for-bit.
+	Attempt int
 }
 
 // TrialOutcome carries a trial's stored result plus the raw monitoring
@@ -71,6 +83,7 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 		if cfg.RootSeed != 0 {
 			seed = mixRootSeed(seed, cfg.RootSeed, e.Name)
 		}
+		seed = mixAttempt(seed, cfg.Attempt)
 	}
 
 	model, err := Model(e, cfg.WriteRatioPct)
@@ -111,15 +124,24 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	// Schedule fault injection: outages are specified relative to the run
 	// period and scale with the trial, like everything else.
 	for _, f := range e.Faults {
-		st, ok := stationOf[f.Role]
-		if !ok {
-			return nil, fmt.Errorf("experiment: fault names role %s, absent from topology %s",
-				f.Role, d.Topology)
+		ev, err := specFaultEvent(f)
+		if err != nil {
+			return nil, err
 		}
-		failAt := warm + f.AtSec*ts
-		recoverAt := failAt + f.DurationSec*ts
-		k.Schedule(failAt, st.Fail)
-		k.Schedule(recoverAt, st.Recover)
+		if ev.Kind != fault.ErrorBurst {
+			if _, ok := stationOf[f.Role]; !ok {
+				return nil, fmt.Errorf("experiment: fault names role %s, absent from topology %s",
+					f.Role, d.Topology)
+			}
+		}
+		scheduleFault(k, driver, stationOf, ev, warm, ts)
+	}
+	// Profile-derived fault plan: same mechanism, derived coordinates.
+	// Roles absent from this topology are skipped silently — the plan is
+	// drawn from the deployment's own role list, so that only happens for
+	// hand-built configs.
+	for _, ev := range cfg.FaultPlan {
+		scheduleFault(k, driver, stationOf, ev, warm, ts)
 	}
 
 	driver.Start()
@@ -136,7 +158,54 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	mon.Stop()
 
 	res := assembleResult(e, d, driver, mon, stationOf, hostOf, cfg, runStart, runEnd)
+	res.DeployRetries = p.Retries
+	res.DeploySeconds = p.DeploySec
 	return &TrialOutcome{Result: res, Monitor: mon, RunWindow: [2]float64{runStart, runEnd}}, nil
+}
+
+// specFaultEvent converts a TBL fault declaration to a fault event.
+func specFaultEvent(f spec.Fault) (fault.Event, error) {
+	kind := fault.Crash
+	if f.Kind != "" {
+		k, ok := fault.KindByName(f.Kind)
+		if !ok {
+			return fault.Event{}, fmt.Errorf("experiment: unknown fault kind %q", f.Kind)
+		}
+		kind = k
+	}
+	return fault.Event{Kind: kind, Role: f.Role, AtSec: f.AtSec,
+		DurationSec: f.DurationSec, Factor: f.Factor}, nil
+}
+
+// scheduleFault arms one fault window on the trial's kernel. Times are
+// relative to the run period's start and scale with the trial; roles not
+// present in the topology are ignored.
+func scheduleFault(k *sim.Kernel, driver *sim.Driver, stationOf map[string]*sim.Station,
+	ev fault.Event, warm, ts float64) {
+
+	at := warm + ev.AtSec*ts
+	end := at + ev.DurationSec*ts
+	switch ev.Kind {
+	case fault.Crash:
+		st, ok := stationOf[ev.Role]
+		if !ok {
+			return
+		}
+		k.Schedule(at, st.Fail)
+		k.Schedule(end, st.Recover)
+	case fault.Slowdown, fault.Stall:
+		st, ok := stationOf[ev.Role]
+		if !ok {
+			return
+		}
+		f := ev.Factor
+		k.Schedule(at, func() { st.SetDegradation(f) })
+		k.Schedule(end, func() { st.SetDegradation(1) })
+	case fault.ErrorBurst:
+		f := ev.Factor
+		k.Schedule(at, func() { driver.SetErrorRate(f) })
+		k.Schedule(end, func() { driver.SetErrorRate(0) })
+	}
 }
 
 // buildNTier constructs the queueing network from the deployed placement
@@ -152,7 +221,7 @@ func buildNTier(k *sim.Kernel, d *mulini.Deployment, p *deploy.Placement) (*sim.
 			out = append(out, sim.NewStation(k, sim.StationConfig{
 				Name:    role,
 				Servers: node.Cores(),
-				Speed:   node.Speed(),
+				Speed:   node.EffectiveSpeed(),
 			}))
 		}
 		return out, nil
@@ -283,6 +352,14 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 			res.PerInteraction[name] = s.Mean() * 1000
 		}
 	}
+	res.FaultProfile = cfg.FaultProfile
+	if len(cfg.FaultPlan) > 0 {
+		res.FaultEvents = make([]string, len(cfg.FaultPlan))
+		for i, fe := range cfg.FaultPlan {
+			res.FaultEvents[i] = fe.String()
+		}
+	}
+	res.InjectedErrors = driver.InjectedErrors()
 
 	// Per-host and per-tier CPU means over the run window, read from the
 	// monitor output exactly as the paper's analysis pipeline would.
@@ -335,6 +412,21 @@ func mixRootSeed(h, root uint64, experiment string) uint64 {
 	for i := 0; i < len(experiment); i++ {
 		mix(uint64(experiment[i]))
 	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// mixAttempt folds a retry-attempt index into a derived trial seed so a
+// retried workload point draws a fresh random stream. Attempt 0 is a
+// no-op, keeping every historical derivation bit-for-bit.
+func mixAttempt(h uint64, attempt int) uint64 {
+	if attempt <= 0 {
+		return h
+	}
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
+	h *= 0x100000001b3
 	if h == 0 {
 		h = 1
 	}

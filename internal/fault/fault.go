@@ -1,0 +1,342 @@
+// Package fault derives deterministic fault plans for the simulated
+// testbed. The paper's automation argument rests on surviving the ways a
+// real cluster misbehaves mid-campaign — nodes crash, disks stall, hosts
+// run slow, clients see error bursts, and deployment steps time out — so
+// the simulated Warp/Rohan/Emulab substrate models exactly those
+// scenarios here.
+//
+// Every decision in this package is a pure function of a root seed and
+// the experiment coordinates (the same coordinate-hash scheme the trial
+// seeds use), never of wall-clock time or execution order. Two runs with
+// the same seed therefore inject byte-identical fault schedules whatever
+// the worker count, which is what keeps the experiment runner's
+// determinism guarantee intact under fault injection.
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Fault kinds, in severity order.
+const (
+	// Crash closes a station's accept queue for a window: every request
+	// routed to it is refused until recovery (crash-stop of the listener).
+	Crash Kind = iota
+	// Slowdown scales a station's effective CPU speed down for a window,
+	// modelling a host degraded by interference or thermal throttling.
+	Slowdown
+	// Stall drops a station's effective speed to near zero for a window,
+	// modelling a disk or service stall: work queues but barely completes.
+	Stall
+	// ErrorBurst makes the client driver fail each issued request with a
+	// given probability for a window, modelling network-path error bursts.
+	ErrorBurst
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Slowdown:
+		return "slowdown"
+	case Stall:
+		return "stall"
+	case ErrorBurst:
+		return "errorburst"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindByName resolves a kind from its TBL spelling.
+func KindByName(name string) (Kind, bool) {
+	switch name {
+	case "crash":
+		return Crash, true
+	case "slowdown":
+		return Slowdown, true
+	case "stall":
+		return Stall, true
+	case "errorburst":
+		return ErrorBurst, true
+	}
+	return 0, false
+}
+
+// Event is one scheduled fault window within a trial. Times are in
+// unscaled seconds relative to the run period's start, exactly like the
+// TBL faults stanza; the trial runner applies its own time scale.
+type Event struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Role is the deployment role the fault targets, e.g. "JONAS1".
+	// ErrorBurst events target the client driver and leave Role empty.
+	Role string
+	// AtSec is the window start in seconds from the run period's start.
+	AtSec float64
+	// DurationSec is the window length in seconds.
+	DurationSec float64
+	// Factor is the kind-specific intensity: the speed multiplier for
+	// Slowdown/Stall, or the per-request error probability for ErrorBurst.
+	// It is unused (zero) for Crash.
+	Factor float64
+}
+
+// String renders the event compactly for logs and stored results, e.g.
+// "crash(JONAS1@100s+60s)" or "errorburst(p=0.20@80s+30s)".
+func (e Event) String() string {
+	switch e.Kind {
+	case ErrorBurst:
+		return fmt.Sprintf("%s(p=%.2f@%gs+%gs)", e.Kind, e.Factor, e.AtSec, e.DurationSec)
+	case Slowdown, Stall:
+		return fmt.Sprintf("%s(%s×%.2f@%gs+%gs)", e.Kind, e.Role, e.Factor, e.AtSec, e.DurationSec)
+	default:
+		return fmt.Sprintf("%s(%s@%gs+%gs)", e.Kind, e.Role, e.AtSec, e.DurationSec)
+	}
+}
+
+// Profile parameterizes the random fault model. Rates are expected event
+// counts per trial; probabilities are per node or per deployment step.
+// The zero Profile injects nothing.
+type Profile struct {
+	// Name identifies the profile ("light", "heavy", ...).
+	Name string
+
+	// Crashes, Slowdowns, Stalls, and Bursts are the expected number of
+	// windows of each in-trial fault kind per trial.
+	Crashes   float64
+	Slowdowns float64
+	Stalls    float64
+	Bursts    float64
+
+	// OutageFrac is the mean fault-window length as a fraction of the run
+	// period.
+	OutageFrac float64
+	// SlowFactor is the centre of the sampled slowdown speed factor.
+	SlowFactor float64
+	// StallFactor is the effective speed factor during a stall window.
+	StallFactor float64
+	// BurstErrorRate is the centre of the sampled per-request error
+	// probability during an error burst.
+	BurstErrorRate float64
+
+	// SlowNodeProb is the per-node probability of a deployment-scope
+	// hardware degradation: the node runs at SlowNodeFactor of its rated
+	// speed for the whole deployment (the classic "slow node" a real
+	// cluster hides in every large allocation).
+	SlowNodeProb float64
+	// SlowNodeFactor is the centre of the sampled node degradation factor.
+	SlowNodeFactor float64
+
+	// GlitchProb is the per-deployment-step probability that the step
+	// fails transiently (a timed-out ssh, a package mirror hiccup) and
+	// must be retried.
+	GlitchProb float64
+	// MaxGlitches bounds consecutive transient failures for one step.
+	MaxGlitches int
+}
+
+// Enabled reports whether the profile can inject anything at all.
+func (p Profile) Enabled() bool {
+	return p.Crashes > 0 || p.Slowdowns > 0 || p.Stalls > 0 || p.Bursts > 0 ||
+		p.SlowNodeProb > 0 || p.GlitchProb > 0
+}
+
+// Built-in profiles. "none" is the explicit no-fault profile; "light"
+// resembles a well-run cluster with occasional hiccups; "heavy" resembles
+// a contended shared testbed where most sweeps hit several faults.
+var builtins = []Profile{
+	{Name: "none"},
+	{
+		Name:      "light",
+		Crashes:   0.05, Slowdowns: 0.25, Stalls: 0.15, Bursts: 0.2,
+		OutageFrac: 0.1, SlowFactor: 0.6, StallFactor: 0.05, BurstErrorRate: 0.15,
+		SlowNodeProb: 0.05, SlowNodeFactor: 0.75,
+		GlitchProb: 0.02, MaxGlitches: 2,
+	},
+	{
+		Name:      "heavy",
+		Crashes:   0.5, Slowdowns: 0.8, Stalls: 0.5, Bursts: 0.8,
+		OutageFrac: 0.25, SlowFactor: 0.45, StallFactor: 0.02, BurstErrorRate: 0.35,
+		SlowNodeProb: 0.2, SlowNodeFactor: 0.6,
+		GlitchProb: 0.1, MaxGlitches: 3,
+	},
+}
+
+// Profiles lists the built-in profile names.
+func Profiles() []string {
+	out := make([]string, len(builtins))
+	for i, p := range builtins {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ProfileByName resolves a built-in profile.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range builtins {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// hash folds the profile name, a root seed, and arbitrary coordinate
+// parts into a 64-bit FNV-1a hash — the same mixing scheme the trial-seed
+// derivation uses, so fault plans inherit its independence properties.
+func (p Profile) hash(root uint64, parts ...string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(x uint64) {
+		h ^= x
+		h *= 0x100000001b3
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+		mix(0x1f) // separator so "ab","c" != "a","bc"
+	}
+	mixStr(p.Name)
+	mix(root * 0x9e3779b97f4a7c15)
+	for _, s := range parts {
+		mixStr(s)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// rng builds the deterministic stream for one coordinate tuple.
+func (p Profile) rng(root uint64, parts ...string) *rand.Rand {
+	h := p.hash(root, parts...)
+	return rand.New(rand.NewPCG(h, h^0x9e3779b97f4a7c15))
+}
+
+// count samples an event count with the given expected value: the integer
+// part always happens, the fractional part happens with its probability.
+func count(rng *rand.Rand, rate float64) int {
+	if rate <= 0 {
+		return 0
+	}
+	n := int(rate)
+	if rng.Float64() < rate-float64(n) {
+		n++
+	}
+	return n
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// window samples a fault window inside the run period: starts in the
+// first 70% of the run, mean length OutageFrac of the run, clipped so it
+// ends before the run does.
+func (p Profile) window(rng *rand.Rand, runSec float64) (at, dur float64) {
+	at = runSec * (0.05 + 0.65*rng.Float64())
+	dur = runSec * p.OutageFrac * (0.5 + rng.Float64())
+	if dur <= 0 {
+		dur = runSec * 0.05
+	}
+	if at+dur > runSec {
+		dur = runSec - at
+	}
+	return at, dur
+}
+
+// TrialPlan derives the in-trial fault schedule for one workload point.
+// The plan is a pure function of (profile, root, experiment, topology,
+// users, write ratio): independent of worker count, execution order, and
+// everything else — the property test pins this. Roles lists the
+// deployment's server roles in canonical (tier, replica) order; events
+// are returned sorted by start time.
+func (p Profile) TrialPlan(root uint64, experiment, topology string, roles []string,
+	users int, writeRatioPct, runSec float64) []Event {
+
+	if !p.Enabled() || runSec <= 0 || len(roles) == 0 {
+		return nil
+	}
+	rng := p.rng(root, "trial", experiment, topology,
+		fmt.Sprintf("u=%d", users), fmt.Sprintf("w=%g", writeRatioPct))
+
+	var out []Event
+	pick := func() string { return roles[rng.IntN(len(roles))] }
+	for i := count(rng, p.Crashes); i > 0; i-- {
+		at, dur := p.window(rng, runSec)
+		out = append(out, Event{Kind: Crash, Role: pick(), AtSec: at, DurationSec: dur})
+	}
+	for i := count(rng, p.Slowdowns); i > 0; i-- {
+		at, dur := p.window(rng, runSec)
+		f := clamp(p.SlowFactor*(0.75+0.5*rng.Float64()), 0.05, 1)
+		out = append(out, Event{Kind: Slowdown, Role: pick(), AtSec: at, DurationSec: dur, Factor: f})
+	}
+	for i := count(rng, p.Stalls); i > 0; i-- {
+		at, dur := p.window(rng, runSec)
+		f := clamp(p.StallFactor, 0.01, 1)
+		out = append(out, Event{Kind: Stall, Role: pick(), AtSec: at, DurationSec: dur, Factor: f})
+	}
+	for i := count(rng, p.Bursts); i > 0; i-- {
+		at, dur := p.window(rng, runSec)
+		f := clamp(p.BurstErrorRate*(0.5+rng.Float64()), 0.01, 0.95)
+		out = append(out, Event{Kind: ErrorBurst, AtSec: at, DurationSec: dur, Factor: f})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtSec < out[j].AtSec })
+	return out
+}
+
+// NodeFactors derives deployment-scope degradation factors: a map from
+// role to effective-speed multiplier for roles unlucky enough to land on
+// a slow node. Roles not in the map run at full speed. Like TrialPlan,
+// the result is a pure function of the coordinates.
+func (p Profile) NodeFactors(root uint64, experiment, topology string, roles []string) map[string]float64 {
+	if p.SlowNodeProb <= 0 || len(roles) == 0 {
+		return nil
+	}
+	var out map[string]float64
+	for _, role := range roles {
+		// One stream per role so adding a role never shifts the others.
+		rng := p.rng(root, "node", experiment, topology, role)
+		if rng.Float64() >= p.SlowNodeProb {
+			continue
+		}
+		f := clamp(p.SlowNodeFactor*(0.8+0.4*rng.Float64()), 0.1, 1)
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[role] = f
+	}
+	return out
+}
+
+// GlitchCount derives the number of transient failures a deployment step
+// suffers before succeeding (usually zero). The deployment engine calls
+// it once per elbactl step; the count is a pure function of the step's
+// script/line coordinates, so retried deployments glitch identically.
+func (p Profile) GlitchCount(root uint64, experiment, topology, script string, line int) int {
+	if p.GlitchProb <= 0 {
+		return 0
+	}
+	rng := p.rng(root, "glitch", experiment, topology, script, fmt.Sprintf("%d", line))
+	if rng.Float64() >= p.GlitchProb {
+		return 0
+	}
+	max := p.MaxGlitches
+	if max < 1 {
+		max = 1
+	}
+	return 1 + rng.IntN(max)
+}

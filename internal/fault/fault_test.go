@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func lightProfile(t *testing.T) Profile {
+	t.Helper()
+	p, ok := ProfileByName("light")
+	if !ok {
+		t.Fatal("built-in profile light missing")
+	}
+	return p
+}
+
+func heavyProfile(t *testing.T) Profile {
+	t.Helper()
+	p, ok := ProfileByName("heavy")
+	if !ok {
+		t.Fatal("built-in profile heavy missing")
+	}
+	return p
+}
+
+func TestProfileRegistry(t *testing.T) {
+	want := []string{"none", "light", "heavy"}
+	if got := Profiles(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Profiles() = %v, want %v", got, want)
+	}
+	none, ok := ProfileByName("none")
+	if !ok || none.Enabled() {
+		t.Fatalf("profile none should exist and inject nothing (ok=%v enabled=%v)", ok, none.Enabled())
+	}
+	if !lightProfile(t).Enabled() || !heavyProfile(t).Enabled() {
+		t.Fatal("light and heavy profiles must be enabled")
+	}
+	if _, ok := ProfileByName("catastrophic"); ok {
+		t.Fatal("unknown profile name resolved")
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range []Kind{Crash, Slowdown, Stall, ErrorBurst} {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v, true", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := KindByName("meltdown"); ok {
+		t.Error("KindByName accepted an unknown kind")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Kind: Crash, Role: "JONAS1", AtSec: 100, DurationSec: 60}, "crash(JONAS1@100s+60s)"},
+		{Event{Kind: Slowdown, Role: "MYSQL1", AtSec: 30, DurationSec: 15, Factor: 0.45}, "slowdown(MYSQL1×0.45@30s+15s)"},
+		{Event{Kind: Stall, Role: "APACHE1", AtSec: 5, DurationSec: 2.5, Factor: 0.05}, "stall(APACHE1×0.05@5s+2.5s)"},
+		{Event{Kind: ErrorBurst, AtSec: 80, DurationSec: 30, Factor: 0.2}, "errorburst(p=0.20@80s+30s)"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); got != c.want {
+			t.Errorf("Event.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestTrialPlanDeterministic pins the package's core contract: the plan is
+// a pure function of (profile, root, coordinates). The experiment runner's
+// byte-identical-across-workers guarantee depends on it.
+func TestTrialPlanDeterministic(t *testing.T) {
+	p := heavyProfile(t)
+	roles := []string{"APACHE1", "JONAS1", "JONAS2", "MYSQL1"}
+	a := p.TrialPlan(42, "rubis-it", "1-2-1", roles, 200, 15, 600)
+	b := p.TrialPlan(42, "rubis-it", "1-2-1", roles, 200, 15, 600)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical coordinates produced different plans:\n%v\n%v", a, b)
+	}
+}
+
+// TestTrialPlanCoordinateSensitivity checks that each coordinate actually
+// feeds the derivation: perturbing any one of them yields an independent
+// plan. With the heavy profile (several expected events per trial) the
+// chance of an accidental collision across all perturbations is negligible.
+func TestTrialPlanCoordinateSensitivity(t *testing.T) {
+	p := heavyProfile(t)
+	roles := []string{"APACHE1", "JONAS1", "JONAS2", "MYSQL1"}
+	base := p.TrialPlan(42, "rubis-it", "1-2-1", roles, 200, 15, 600)
+	if len(base) == 0 {
+		t.Fatal("heavy profile produced an empty plan")
+	}
+	perturbed := map[string][]Event{
+		"root":       p.TrialPlan(43, "rubis-it", "1-2-1", roles, 200, 15, 600),
+		"experiment": p.TrialPlan(42, "rubis-it2", "1-2-1", roles, 200, 15, 600),
+		"topology":   p.TrialPlan(42, "rubis-it", "1-3-1", roles, 200, 15, 600),
+		"users":      p.TrialPlan(42, "rubis-it", "1-2-1", roles, 300, 15, 600),
+		"writeratio": p.TrialPlan(42, "rubis-it", "1-2-1", roles, 200, 25, 600),
+	}
+	for coord, plan := range perturbed {
+		if reflect.DeepEqual(base, plan) {
+			t.Errorf("perturbing %s left the plan unchanged: %v", coord, plan)
+		}
+	}
+}
+
+func TestTrialPlanWellFormed(t *testing.T) {
+	p := heavyProfile(t)
+	roles := []string{"APACHE1", "JONAS1", "MYSQL1"}
+	const runSec = 600.0
+	// Sweep several coordinates so the invariants hold across many samples,
+	// not just one lucky draw.
+	for users := 50; users <= 1000; users += 50 {
+		events := p.TrialPlan(7, "sweep", "1-1-1", roles, users, 15, runSec)
+		var lastAt float64
+		for _, ev := range events {
+			if ev.AtSec < lastAt {
+				t.Fatalf("users=%d: events not sorted by start time: %v", users, events)
+			}
+			lastAt = ev.AtSec
+			if ev.AtSec < 0 || ev.AtSec+ev.DurationSec > runSec+1e-9 {
+				t.Fatalf("users=%d: window %v escapes the run period [0,%g]", users, ev, runSec)
+			}
+			if ev.DurationSec <= 0 {
+				t.Fatalf("users=%d: non-positive window %v", users, ev)
+			}
+			switch ev.Kind {
+			case Crash:
+				if ev.Role == "" {
+					t.Fatalf("users=%d: crash without a role: %v", users, ev)
+				}
+			case Slowdown, Stall:
+				if ev.Role == "" || ev.Factor <= 0 || ev.Factor > 1 {
+					t.Fatalf("users=%d: bad slowdown/stall event %v", users, ev)
+				}
+			case ErrorBurst:
+				if ev.Role != "" || ev.Factor <= 0 || ev.Factor > 0.95 {
+					t.Fatalf("users=%d: bad errorburst event %v", users, ev)
+				}
+			}
+		}
+	}
+}
+
+func TestTrialPlanDisabledCases(t *testing.T) {
+	p := heavyProfile(t)
+	none, _ := ProfileByName("none")
+	roles := []string{"JONAS1"}
+	if got := none.TrialPlan(1, "e", "1-1-1", roles, 100, 15, 600); got != nil {
+		t.Errorf("disabled profile planned events: %v", got)
+	}
+	if got := p.TrialPlan(1, "e", "1-1-1", nil, 100, 15, 600); got != nil {
+		t.Errorf("no roles but planned events: %v", got)
+	}
+	if got := p.TrialPlan(1, "e", "1-1-1", roles, 100, 15, 0); got != nil {
+		t.Errorf("zero run period but planned events: %v", got)
+	}
+}
+
+// TestNodeFactorsPerRoleStreams verifies both determinism and the
+// one-stream-per-role design: adding a role to the deployment must not
+// change whether any existing role lands on a slow node.
+func TestNodeFactorsPerRoleStreams(t *testing.T) {
+	p := heavyProfile(t)
+	small := []string{"APACHE1", "JONAS1", "MYSQL1"}
+	large := append(append([]string{}, small...), "JONAS2", "JONAS3", "MYSQL2")
+
+	a := p.NodeFactors(9, "exp", "1-1-1", small)
+	b := p.NodeFactors(9, "exp", "1-1-1", small)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("NodeFactors not deterministic: %v vs %v", a, b)
+	}
+	grown := p.NodeFactors(9, "exp", "1-1-1", large)
+	for _, role := range small {
+		af, aok := a[role]
+		gf, gok := grown[role]
+		if aok != gok || af != gf {
+			t.Errorf("adding roles changed %s: (%v,%v) vs (%v,%v)", role, af, aok, gf, gok)
+		}
+	}
+	for role, f := range grown {
+		if f <= 0 || f > 1 {
+			t.Errorf("factor for %s out of (0,1]: %g", role, f)
+		}
+	}
+}
+
+func TestNodeFactorsHitRate(t *testing.T) {
+	// With SlowNodeProb = 0.2 the heavy profile should degrade roughly a
+	// fifth of a large role population — certainly some, and not all.
+	p := heavyProfile(t)
+	roles := make([]string, 400)
+	for i := range roles {
+		roles[i] = "ROLE" + string(rune('A'+i%26)) + string(rune('0'+i%10))
+	}
+	hit := len(p.NodeFactors(11, "pop", "1-1-1", roles))
+	if hit == 0 || hit == len(roles) {
+		t.Fatalf("slow-node hit count %d/%d implausible for p=%g", hit, len(roles), p.SlowNodeProb)
+	}
+	none, _ := ProfileByName("none")
+	if got := none.NodeFactors(11, "pop", "1-1-1", roles); got != nil {
+		t.Fatalf("disabled profile degraded nodes: %v", got)
+	}
+}
+
+func TestGlitchCountDeterministicAndBounded(t *testing.T) {
+	p := heavyProfile(t)
+	sawGlitch := false
+	for line := 1; line <= 200; line++ {
+		n := p.GlitchCount(3, "exp", "1-2-1", "run.sh", line)
+		if n != p.GlitchCount(3, "exp", "1-2-1", "run.sh", line) {
+			t.Fatalf("GlitchCount not deterministic at line %d", line)
+		}
+		if n < 0 || n > p.MaxGlitches {
+			t.Fatalf("line %d: glitch count %d outside [0,%d]", line, n, p.MaxGlitches)
+		}
+		if n > 0 {
+			sawGlitch = true
+		}
+	}
+	if !sawGlitch {
+		t.Fatal("heavy profile (GlitchProb=0.1) glitched no step out of 200")
+	}
+	none, _ := ProfileByName("none")
+	if none.GlitchCount(3, "exp", "1-2-1", "run.sh", 1) != 0 {
+		t.Fatal("disabled profile glitched a step")
+	}
+}

@@ -326,6 +326,47 @@ func InteractionBreakdown(r store.Result) string {
 	return t.String()
 }
 
+// TableAvailability renders the failure/availability summary for one
+// experiment under fault injection: per configuration, how many workload
+// points completed versus failed, the trial attempts consumed by retry
+// budgets, deployment-step retries, and the injected fault volume — the
+// fault-injection companion to Table 7's missing squares.
+func TableAvailability(st *store.Store, experiment string) string {
+	t := NewTable(fmt.Sprintf("Availability under fault injection — %s", experiment),
+		"Config (w-a-d)", "Points", "Completed", "Failed", "Availability",
+		"Attempts", "Deploy retries", "Fault windows", "Injected errs")
+	for _, topo := range st.Topologies(experiment) {
+		rs := st.Filter(func(r store.Result) bool {
+			return r.Key.Experiment == experiment && r.Key.Topology == topo
+		})
+		if len(rs) == 0 {
+			continue
+		}
+		var completed, attempts, deployRetries, windows int
+		var injected int64
+		for _, r := range rs {
+			if r.Completed {
+				completed++
+			}
+			if r.Attempts > 0 {
+				attempts += r.Attempts
+			} else {
+				attempts++ // no retry budget: one attempt per point
+			}
+			deployRetries += r.DeployRetries
+			windows += len(r.FaultEvents)
+			injected += r.InjectedErrors
+		}
+		failed := len(rs) - completed
+		avail := float64(completed) / float64(len(rs)) * 100
+		t.AddRow(topo,
+			fmt.Sprint(len(rs)), fmt.Sprint(completed), fmt.Sprint(failed),
+			fmt.Sprintf("%.1f%%", avail), fmt.Sprint(attempts),
+			fmt.Sprint(deployRetries), fmt.Sprint(windows), fmt.Sprint(injected))
+	}
+	return t.String()
+}
+
 // Table7Throughput renders the paper's Table 7: average throughput per
 // configuration and load, with failed trials as blank cells.
 func Table7Throughput(st *store.Store, experiment string, writeRatioPct float64, topologies []string, loads []int) string {

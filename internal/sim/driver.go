@@ -58,6 +58,13 @@ type Driver struct {
 	errors    int64
 	timeouts  int64
 
+	// errRate, when positive, fails each issued request with this
+	// probability before it reaches the application — a fault-injection
+	// error burst on the client network path. injected counts the
+	// requests so failed during the measurement window.
+	errRate  float64
+	injected int64
+
 	users  []*user
 	active int
 
@@ -106,6 +113,18 @@ func (u *user) act(tag int32) {
 		return
 	}
 	it := u.sess.Next(d.rng)
+	// Error-burst window: the request fails on the wire. The rng is only
+	// consulted while a burst is active, so fault-free runs keep their
+	// historical random stream bit-for-bit.
+	if d.errRate > 0 && d.rng.Float64() < d.errRate {
+		d.issued++
+		if d.measuring {
+			d.injected++
+		}
+		d.complete(it, d.k.Now(), 0, Failed)
+		u.loop()
+		return
+	}
 	u.it = it
 	u.issuedAt = d.k.Now()
 	d.issued++
@@ -244,6 +263,7 @@ func (d *Driver) BeginMeasurement() {
 	}
 	d.errors = 0
 	d.timeouts = 0
+	d.injected = 0
 }
 
 // EndMeasurement stops recording.
@@ -266,6 +286,24 @@ func (d *Driver) PerInteraction() map[string]*metrics.Summary {
 	}
 	return out
 }
+
+// SetErrorRate starts (p > 0) or ends (p <= 0) an error-burst window:
+// while active, each issued request fails with probability p before
+// reaching the application. Fault injection schedules these windows on
+// the kernel.
+func (d *Driver) SetErrorRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	d.errRate = p
+}
+
+// InjectedErrors reports requests failed by error bursts during the
+// measurement window.
+func (d *Driver) InjectedErrors() int64 { return d.injected }
 
 // Issued reports the total number of requests sent since Start.
 func (d *Driver) Issued() int64 { return d.issued }

@@ -45,6 +45,7 @@ type Station struct {
 	queue  []pendingJob // ring: live entries are queue[qhead:]
 	qhead  int
 	failed bool
+	degr   float64 // runtime degradation factor; 1 = full speed
 
 	// slots hold in-service jobs; the kernel's actor events carry the slot
 	// index, so a service completion costs no allocation.
@@ -103,6 +104,7 @@ func NewStation(k *Kernel, cfg StationConfig) *Station {
 		speed:   cfg.Speed,
 		maxJobs: cfg.MaxJobs,
 		detSvc:  cfg.Deterministic,
+		degr:    1,
 	}
 }
 
@@ -140,6 +142,24 @@ func (s *Station) Recover() { s.failed = false }
 // Failed reports whether the station is out of service.
 func (s *Station) Failed() bool { return s.failed }
 
+// SetDegradation scales the station's effective speed by f for jobs that
+// start from now on: 1 restores full speed, values toward 0 model a
+// slowed or stalled host (fault-injection slowdown and stall windows).
+// Non-positive factors are clamped to a small floor rather than zero so
+// in-flight work still drains, matching a stalled-but-alive server.
+func (s *Station) SetDegradation(f float64) {
+	if f <= 0 {
+		f = 0.001
+	}
+	if f > 1 {
+		f = 1
+	}
+	s.degr = f
+}
+
+// Degradation reports the current runtime degradation factor.
+func (s *Station) Degradation() float64 { return s.degr }
+
 // Submit offers a job with the given reference demand (seconds at the
 // reference frequency). done is invoked exactly once: immediately with
 // ok=false on rejection, or at service completion with ok=true.
@@ -173,7 +193,7 @@ func (s *Station) submit(demand float64, done jobDone) {
 func (s *Station) start(j pendingJob) {
 	s.accumulate()
 	s.busy++
-	svc := j.demand / s.speed
+	svc := j.demand / (s.speed * s.degr)
 	if !s.detSvc {
 		svc = s.k.Exp(svc)
 	}

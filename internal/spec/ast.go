@@ -124,15 +124,23 @@ func (m Monitor) Has(name string) bool {
 	return false
 }
 
-// Fault schedules a service outage during each trial, for failure
-// injection studies: the named role stops accepting work AtSec seconds
-// into the run period and recovers DurationSec later.
+// Fault schedules a fault window during each trial, for failure
+// injection studies: the named role misbehaves AtSec seconds into the
+// run period and recovers DurationSec later.
 type Fault struct {
 	// Role is the deployment role to fail, e.g. "JONAS1" or "MYSQL2".
+	// Error bursts target the client driver and leave Role empty.
 	Role string
-	// AtSec is the outage start, in seconds from the run period's start.
+	// Kind picks the fault class: "" or "crash" (the original outage),
+	// "slowdown", "stall", or "errorburst".
+	Kind string
+	// Factor is the kind-specific intensity: the effective-speed
+	// multiplier for slowdown/stall, the per-request error probability for
+	// errorburst. Unused for crash.
+	Factor float64
+	// AtSec is the window start, in seconds from the run period's start.
 	AtSec float64
-	// DurationSec is the outage length in seconds.
+	// DurationSec is the window length in seconds.
 	DurationSec float64
 }
 
@@ -161,8 +169,11 @@ type Experiment struct {
 	// Allocate maps tier name → node type for platforms with
 	// heterogeneous pools (Emulab's low-end/high-end).
 	Allocate map[string]string
-	// Faults schedules service outages within every trial.
+	// Faults schedules fault windows within every trial.
 	Faults []Fault
+	// FaultProfile names a built-in random fault profile ("none", "light",
+	// "heavy") applied on top of the explicit Faults list; empty disables.
+	FaultProfile string
 	// Repeat runs every workload point this many times with independent
 	// seeds and stores the aggregate with confidence intervals (default 1).
 	Repeat int
@@ -245,10 +256,22 @@ func (e *Experiment) String() string {
 		}
 		fmt.Fprintf(&b, " }\n")
 	}
-	if len(e.Faults) > 0 {
+	if len(e.Faults) > 0 || e.FaultProfile != "" {
 		fmt.Fprintf(&b, "\tfaults {")
+		if e.FaultProfile != "" {
+			fmt.Fprintf(&b, " profile %s;", e.FaultProfile)
+		}
 		for _, f := range e.Faults {
-			fmt.Fprintf(&b, " %s at %ss for %ss;", f.Role, trimFloat(f.AtSec), trimFloat(f.DurationSec))
+			switch f.Kind {
+			case "", "crash":
+				fmt.Fprintf(&b, " %s at %ss for %ss;", f.Role, trimFloat(f.AtSec), trimFloat(f.DurationSec))
+			case "errorburst":
+				fmt.Fprintf(&b, " client errorburst %s at %ss for %ss;",
+					trimFloat(f.Factor), trimFloat(f.AtSec), trimFloat(f.DurationSec))
+			default:
+				fmt.Fprintf(&b, " %s %s %s at %ss for %ss;",
+					f.Role, f.Kind, trimFloat(f.Factor), trimFloat(f.AtSec), trimFloat(f.DurationSec))
+			}
 		}
 		fmt.Fprintf(&b, " }\n")
 	}

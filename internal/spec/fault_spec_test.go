@@ -1,0 +1,124 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTypedFaults covers the extended fault grammar: explicit crash,
+// slowdown/stall with a speed factor, client error bursts, and the
+// profile reference — all of which must survive a String() round trip.
+func TestParseTypedFaults(t *testing.T) {
+	e := parseOne(t, `experiment "f" {
+		benchmark rubis; platform emulab;
+		workload { users 100; writeratio 15; }
+		trial { warmup 60s; run 300s; cooldown 60s; }
+		faults {
+			profile light;
+			JONAS1 crash at 100s for 60s;
+			MYSQL1 slowdown 0.5 at 80s for 30s;
+			MYSQL1 stall 0.05 at 120s for 20s;
+			client errorburst 0.2 at 150s for 30s;
+		}
+	}`)
+	if e.FaultProfile != "light" {
+		t.Fatalf("profile = %q", e.FaultProfile)
+	}
+	want := []Fault{
+		{Role: "JONAS1", AtSec: 100, DurationSec: 60}, // crash normalizes to ""
+		{Role: "MYSQL1", Kind: "slowdown", Factor: 0.5, AtSec: 80, DurationSec: 30},
+		{Role: "MYSQL1", Kind: "stall", Factor: 0.05, AtSec: 120, DurationSec: 20},
+		{Kind: "errorburst", Factor: 0.2, AtSec: 150, DurationSec: 30},
+	}
+	if len(e.Faults) != len(want) {
+		t.Fatalf("faults = %+v", e.Faults)
+	}
+	for i, w := range want {
+		if e.Faults[i] != w {
+			t.Errorf("fault[%d] = %+v, want %+v", i, e.Faults[i], w)
+		}
+	}
+	re := parseOne(t, e.String())
+	if re.FaultProfile != "light" || len(re.Faults) != len(want) {
+		t.Fatalf("round trip lost faults: profile=%q faults=%+v", re.FaultProfile, re.Faults)
+	}
+	for i, w := range want {
+		if re.Faults[i] != w {
+			t.Errorf("round-tripped fault[%d] = %+v, want %+v", i, re.Faults[i], w)
+		}
+	}
+}
+
+// TestTypedFaultErrors rejects the new grammar's invalid spellings with
+// messages that name the problem.
+func TestTypedFaultErrors(t *testing.T) {
+	wrap := func(faults string) string {
+		return `experiment "f" { benchmark rubis; platform emulab;
+			workload { users 1; } trial { warmup 1s; run 300s; cooldown 1s; }
+			faults { ` + faults + ` } }`
+	}
+	cases := []struct{ name, faults, want string }{
+		{"unknown kind", `JONAS1 meltdown 0.5 at 10s for 10s;`, "unknown fault kind"},
+		{"errorburst on a server role", `JONAS1 errorburst 0.2 at 10s for 10s;`, "client"},
+		{"slowdown factor zero", `JONAS1 slowdown 0 at 10s for 10s;`, "factor in (0, 1)"},
+		{"slowdown factor one", `JONAS1 slowdown 1 at 10s for 10s;`, "factor in (0, 1)"},
+		{"stall factor above one", `MYSQL1 stall 1.5 at 10s for 10s;`, "factor in (0, 1)"},
+		{"burst probability above one", `client errorburst 1.5 at 10s for 10s;`, "(0, 1]"},
+		{"unknown profile", `profile catastrophic;`, "unknown fault profile"},
+		{"typed fault past run period", `JONAS1 stall 0.5 at 290s for 20s;`, "past the run period"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(wrap(c.faults))
+			if err == nil {
+				t.Fatalf("accepted %q", c.faults)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestProfileOnlyFaultStanza allows a stanza that names a profile without
+// any explicit windows, and renders it back.
+func TestProfileOnlyFaultStanza(t *testing.T) {
+	e := parseOne(t, `experiment "f" {
+		benchmark rubis; platform emulab;
+		workload { users 10; }
+		faults { profile heavy; }
+	}`)
+	if e.FaultProfile != "heavy" || len(e.Faults) != 0 {
+		t.Fatalf("profile=%q faults=%v", e.FaultProfile, e.Faults)
+	}
+	if !strings.Contains(e.String(), "profile heavy;") {
+		t.Fatalf("String() lost the profile:\n%s", e.String())
+	}
+	if re := parseOne(t, e.String()); re.FaultProfile != "heavy" {
+		t.Fatalf("round trip lost the profile: %q", re.FaultProfile)
+	}
+}
+
+// TestWorkloadRangeCardinalityBounded pins the sweep-size guard: a range
+// that would expand to millions of grid points is rejected during
+// validation instead of exhausting memory (found by the TBL fuzzer).
+func TestWorkloadRangeCardinalityBounded(t *testing.T) {
+	_, err := Parse(`experiment "huge" {
+		benchmark rubis; platform emulab;
+		workload { users 1 to 100000000 step 1; }
+	}`)
+	if err == nil {
+		t.Fatal("hundred-million-point sweep accepted")
+	}
+	if !strings.Contains(err.Error(), "expands to") {
+		t.Fatalf("error does not explain the bound: %v", err)
+	}
+	// A legal dense range well under the cap still parses.
+	e := parseOne(t, `experiment "ok" {
+		benchmark rubis; platform emulab;
+		workload { users 1 to 5000 step 1; }
+	}`)
+	if got := e.Workload.Users.Count(); got != 5000 {
+		t.Fatalf("users count = %d", got)
+	}
+}

@@ -1,0 +1,52 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseTBL fuzzes the TBL front end: the parser and validator must
+// never panic or hang on arbitrary input, and anything they accept must
+// re-parse from its own String() rendering to the same rendering (the
+// printer is a fixpoint). The committed specs seed the corpus with every
+// construct the grammar supports.
+func FuzzParseTBL(f *testing.F) {
+	seeds, err := filepath.Glob("../../specs/*.tbl")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no seed specs found under specs/")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(`experiment "x" { benchmark rubis; platform emulab;
+		workload { users 1 to 10 step 1; writeratio 5; }
+		faults { profile light; client errorburst 0.5 at 10s for 10s; } }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics and hangs are not
+		}
+		for _, e := range doc.Experiments {
+			rendered := e.String()
+			re, err := Parse(rendered)
+			if err != nil {
+				t.Fatalf("accepted experiment does not re-parse: %v\n--- rendering ---\n%s", err, rendered)
+			}
+			if len(re.Experiments) != 1 {
+				t.Fatalf("rendering parsed to %d experiments:\n%s", len(re.Experiments), rendered)
+			}
+			if again := re.Experiments[0].String(); again != rendered {
+				t.Fatalf("String() not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", rendered, again)
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // tokKind classifies TBL lexemes.
@@ -150,6 +151,19 @@ func (p *parser) number() (float64, error) {
 	return v, p.advance()
 }
 
+// uint64Number parses an exact unsigned integer. Seeds need this: going
+// through float64 silently rounds values above 2^53.
+func (p *parser) uint64Number() (uint64, error) {
+	if p.tok.kind != tNumber {
+		return 0, p.errf("expected integer, found %q", p.tok.text)
+	}
+	v, err := strconv.ParseUint(p.tok.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("invalid integer %q", p.tok.text)
+	}
+	return v, p.advance()
+}
+
 // duration parses a number with an s or ms unit into seconds.
 func (p *parser) duration() (float64, error) {
 	if p.tok.kind != tNumber {
@@ -257,6 +271,17 @@ func (p *parser) parseExperiment() (*Experiment, error) {
 	if p.tok.kind != tString {
 		return nil, p.errf("experiment needs a quoted name")
 	}
+	// The lexer has no escape sequences, so a name must be plain printable
+	// UTF-8 to render back into a parseable quoted string (%q escapes
+	// everything else, and escapes do not re-parse).
+	if !utf8.ValidString(p.tok.text) {
+		return nil, p.errf("experiment name %q is not valid UTF-8", p.tok.text)
+	}
+	for _, r := range p.tok.text {
+		if r < 0x20 || r == 0x7f || r == '\\' || !unicode.IsPrint(r) {
+			return nil, p.errf("experiment name %q contains unprintable or escape characters", p.tok.text)
+		}
+	}
 	e := &Experiment{
 		Name:     p.tok.text,
 		Allocate: map[string]string{},
@@ -333,11 +358,11 @@ func (p *parser) parseClause(e *Experiment, key string) error {
 	case "faults":
 		return p.parseFaults(e)
 	case "seed":
-		v, err := p.number()
+		v, err := p.uint64Number()
 		if err != nil {
 			return err
 		}
-		e.Seed = uint64(v)
+		e.Seed = v
 		return p.expectPunct(";")
 	case "repeat":
 		v, err := p.number()
@@ -572,7 +597,17 @@ func (p *parser) parseMonitor(e *Experiment) error {
 	return p.advance()
 }
 
-// parseFaults reads "faults { ROLE at 100s for 60s; ... }".
+// parseFaults reads the fault stanza. Entries are either a profile
+// reference or a typed fault window:
+//
+//	faults {
+//		profile light;
+//		JONAS1 at 100s for 60s;                  # crash (original form)
+//		JONAS1 crash at 100s for 60s;            # crash, explicit
+//		MYSQL1 slowdown 0.5 at 80s for 30s;      # speed × 0.5
+//		MYSQL1 stall 0.05 at 80s for 30s;        # near-stopped
+//		client errorburst 0.2 at 80s for 30s;    # 20% request errors
+//	}
 func (p *parser) parseFaults(e *Experiment) error {
 	if err := p.expectPunct("{"); err != nil {
 		return err
@@ -582,29 +617,64 @@ func (p *parser) parseFaults(e *Experiment) error {
 		if err != nil {
 			return err
 		}
+		if role == "profile" {
+			name, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			e.FaultProfile = name
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			continue
+		}
+		f := Fault{Role: role}
 		kw, err := p.expectIdent()
 		if err != nil {
 			return err
 		}
+		switch kw {
+		case "at":
+			// Original crash form: ROLE at Ns for Ms.
+		case "crash":
+			// Explicit crash spelling normalizes to the original form so
+			// String() round-trips to a single rendering.
+			if kw, err = p.expectIdent(); err != nil {
+				return err
+			}
+		case "slowdown", "stall", "errorburst":
+			f.Kind = kw
+			if f.Factor, err = p.number(); err != nil {
+				return err
+			}
+			if kw, err = p.expectIdent(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unknown fault kind %q", kw)
+		}
 		if kw != "at" {
 			return p.errf("fault needs 'at', found %q", kw)
 		}
-		at, err := p.duration()
-		if err != nil {
+		if f.AtSec, err = p.duration(); err != nil {
 			return err
 		}
-		kw, err = p.expectIdent()
-		if err != nil {
+		if kw, err = p.expectIdent(); err != nil {
 			return err
 		}
 		if kw != "for" {
 			return p.errf("fault needs 'for', found %q", kw)
 		}
-		dur, err := p.duration()
-		if err != nil {
+		if f.DurationSec, err = p.duration(); err != nil {
 			return err
 		}
-		e.Faults = append(e.Faults, Fault{Role: role, AtSec: at, DurationSec: dur})
+		if f.Kind == "errorburst" {
+			if f.Role != "client" {
+				return p.errf("errorburst faults target the client driver; write 'client errorburst', not %q", f.Role)
+			}
+			f.Role = ""
+		}
+		e.Faults = append(e.Faults, f)
 		if err := p.expectPunct(";"); err != nil {
 			return err
 		}

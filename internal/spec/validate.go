@@ -1,6 +1,11 @@
 package spec
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"elba/internal/fault"
+)
 
 // Benchmarks supported by the infrastructure.
 var knownBenchmarks = map[string]bool{"rubis": true, "rubbos": true, "tpcapp": true}
@@ -108,10 +113,18 @@ func Validate(e *Experiment) error {
 	if e.Workload.Users.Lo < 1 {
 		return fmt.Errorf("tbl: experiment %q: workload needs at least one user", e.Name)
 	}
+	if n := rangePoints(e.Workload.Users); n > maxRangePoints {
+		return fmt.Errorf("tbl: experiment %q: users sweep expands to %.0f points (max %d)",
+			e.Name, n, maxRangePoints)
+	}
 	wr := e.Workload.WriteRatioPct
 	if wr.Lo < 0 || wr.Hi > 90 {
 		return fmt.Errorf("tbl: experiment %q: write ratio %s outside the paper's 0–90%% range",
 			e.Name, wr)
+	}
+	if n := rangePoints(wr); n > maxRangePoints {
+		return fmt.Errorf("tbl: experiment %q: write-ratio sweep expands to %.0f points (max %d)",
+			e.Name, n, maxRangePoints)
 	}
 	if e.Benchmark == "rubbos" && e.Mix == "read-only" && wr.Hi > 0 {
 		return fmt.Errorf("tbl: experiment %q: read-only mix cannot carry a write ratio", e.Name)
@@ -145,16 +158,64 @@ func Validate(e *Experiment) error {
 		return fmt.Errorf("tbl: experiment %q: repeat %d outside 1–100", e.Name, e.Repeat)
 	}
 	for _, f := range e.Faults {
-		if f.Role == "" {
+		target := f.Role
+		if target == "" {
+			target = "client"
+		}
+		switch f.Kind {
+		case "", "crash", "slowdown", "stall", "errorburst":
+		default:
+			return fmt.Errorf("tbl: experiment %q: unknown fault kind %q", e.Name, f.Kind)
+		}
+		if f.Role == "" && f.Kind != "errorburst" {
 			return fmt.Errorf("tbl: experiment %q: fault needs a role", e.Name)
+		}
+		switch f.Kind {
+		case "slowdown", "stall":
+			if f.Factor <= 0 || f.Factor >= 1 {
+				return fmt.Errorf("tbl: experiment %q: %s fault on %s needs a factor in (0, 1), got %g",
+					e.Name, f.Kind, target, f.Factor)
+			}
+		case "errorburst":
+			if f.Factor <= 0 || f.Factor > 1 {
+				return fmt.Errorf("tbl: experiment %q: errorburst needs an error probability in (0, 1], got %g",
+					e.Name, f.Factor)
+			}
 		}
 		if f.AtSec < 0 || f.DurationSec <= 0 {
 			return fmt.Errorf("tbl: experiment %q: fault on %s needs non-negative start and positive duration",
-				e.Name, f.Role)
+				e.Name, target)
 		}
 		if f.AtSec+f.DurationSec > e.Trial.RunSec {
-			return fmt.Errorf("tbl: experiment %q: fault on %s extends past the run period", e.Name, f.Role)
+			return fmt.Errorf("tbl: experiment %q: fault on %s extends past the run period", e.Name, target)
+		}
+	}
+	if e.FaultProfile != "" {
+		if _, ok := fault.ProfileByName(e.FaultProfile); !ok {
+			return fmt.Errorf("tbl: experiment %q: unknown fault profile %q (have %v)",
+				e.Name, e.FaultProfile, fault.Profiles())
 		}
 	}
 	return nil
+}
+
+// maxRangePoints bounds how many points a workload range may expand to.
+// The cardinality is computed arithmetically, never by materializing the
+// range, so adversarial sweeps like "users 1 to 9e18 step 1" are rejected
+// here instead of hanging Range.Values.
+const maxRangePoints = 10000
+
+// rangePoints computes a range's cardinality without expanding it.
+func rangePoints(r Range) float64 {
+	if r.Fixed() {
+		return 1
+	}
+	if r.Step <= 0 || math.IsNaN(r.Step) {
+		return math.Inf(1)
+	}
+	n := math.Floor((r.Hi-r.Lo)/r.Step) + 1
+	if math.IsNaN(n) {
+		return math.Inf(1)
+	}
+	return n
 }

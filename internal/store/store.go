@@ -71,6 +71,26 @@ type Result struct {
 	// the per-interaction breakdown the benchmark client emulators print.
 	PerInteraction map[string]float64 `json:"per_interaction,omitempty"`
 
+	// Fault-injection bookkeeping. All fields are zero/empty when no
+	// fault profile is active, so no-fault serializations stay
+	// byte-identical to historical output.
+
+	// FaultProfile names the fault profile active for this trial.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// FaultEvents lists the injected in-trial fault windows, rendered
+	// compactly in schedule order.
+	FaultEvents []string `json:"fault_events,omitempty"`
+	// InjectedErrors counts requests failed by error bursts during the
+	// measurement window.
+	InjectedErrors int64 `json:"injected_errors,omitempty"`
+	// DeployRetries counts deployment-step retries during run.sh.
+	DeployRetries int `json:"deploy_retries,omitempty"`
+	// DeploySeconds is simulated time lost to deploy timeouts/backoffs.
+	DeploySeconds float64 `json:"deploy_seconds,omitempty"`
+	// Attempts counts trial attempts consumed at this workload point
+	// (1 = succeeded first try; set only when a retry budget is active).
+	Attempts int `json:"attempts,omitempty"`
+
 	// Replicas counts the independent repetitions aggregated into this
 	// result (1 = a single trial).
 	Replicas int `json:"replicas,omitempty"`
