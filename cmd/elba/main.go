@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"elba/internal/bottleneck"
 	"elba/internal/core"
 	"elba/internal/experiment"
 	"elba/internal/report"
@@ -41,6 +42,9 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 0, "root seed mixed into every trial seed (0 = default derivation)")
 	faults := fs.String("faults", "", "inject a built-in fault profile: none, light, or heavy")
 	trialRetries := fs.Int("trialretries", 0, "re-run each failed workload point up to this many extra times")
+	traceRate := fs.Float64("trace", 0, "head-sample this fraction of measured requests into span traces (0 = off)")
+	traceExemplars := fs.Int("traceexemplars", 3, "slowest traces persisted in full per traced trial")
+	traceOut := fs.String("traceout", "", "write exemplar traces as Chrome trace-event JSON to this file (requires -trace)")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
@@ -65,12 +69,14 @@ func run(args []string) error {
 	}
 
 	c, err := core.New(core.Options{
-		TimeScale:     *timescale,
-		Parallel:      *parallel,
-		TrialParallel: *trialParallel,
-		Seed:          *seed,
-		FaultProfile:  *faults,
-		TrialRetries:  *trialRetries,
+		TimeScale:      *timescale,
+		Parallel:       *parallel,
+		TrialParallel:  *trialParallel,
+		Seed:           *seed,
+		FaultProfile:   *faults,
+		TrialRetries:   *trialRetries,
+		TraceRate:      *traceRate,
+		TraceExemplars: *traceExemplars,
 		OnTrial: func(r store.Result) {
 			status := "ok"
 			if !r.Completed {
@@ -117,6 +123,37 @@ func run(args []string) error {
 		if len(faulted) > 0 {
 			fmt.Println()
 			fmt.Print(report.TableAvailability(c.Results(), e.Name))
+		}
+	}
+
+	// Render the trace tables for every experiment that ran with tracing,
+	// and optionally export the exemplars for chrome://tracing.
+	if *traceRate > 0 {
+		for _, e := range doc.Experiments {
+			traced := c.Results().Filter(func(r store.Result) bool {
+				return r.Key.Experiment == e.Name && r.Trace != nil
+			})
+			if len(traced) == 0 {
+				continue
+			}
+			fmt.Println()
+			fmt.Print(report.TableTraceDecomp(c.Results(), e.Name))
+			fmt.Println()
+			fmt.Print(report.TableTraceVerdict(c.Results(), e.Name, bottleneck.DefaultThresholds))
+		}
+		if *traceOut != "" {
+			names := make([]string, len(doc.Experiments))
+			for i, e := range doc.Experiments {
+				names[i] = e.Name
+			}
+			data, err := report.TraceEventsJSON(c.Results(), names...)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *traceOut)
 		}
 	}
 

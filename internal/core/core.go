@@ -42,6 +42,12 @@ type Options struct {
 	// TrialRetries re-runs each failed workload point up to this many
 	// extra times with fresh attempt-mixed seeds (0 = no retries).
 	TrialRetries int
+	// TraceRate head-samples this fraction of every trial's measured
+	// requests into span traces (0 = tracing off).
+	TraceRate float64
+	// TraceExemplars is the number of slowest traces each traced trial
+	// persists in full (used only when TraceRate > 0).
+	TraceExemplars int
 	// Catalog overrides the built-in CIM resource model.
 	Catalog *cim.Catalog
 	// Store receives results; a fresh store is created when nil.
@@ -99,6 +105,8 @@ func New(opts Options) (*Characterizer, error) {
 		runner.FaultProfile = &prof
 	}
 	runner.TrialRetries = opts.TrialRetries
+	runner.TraceRate = opts.TraceRate
+	runner.TraceExemplars = opts.TraceExemplars
 	c := &Characterizer{
 		catalog:   cat,
 		runner:    runner,

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
 	"elba/internal/spec"
@@ -38,12 +39,6 @@ type KneeProbe struct {
 func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 	writeRatioPct, sloMS float64, lo, hi, resolution int) (KneeSearchResult, error) {
 
-	if lo < 1 || hi <= lo {
-		return KneeSearchResult{}, fmt.Errorf("experiment: knee search needs 1 <= lo < hi")
-	}
-	if resolution < 1 {
-		resolution = 1
-	}
 	if sloMS <= 0 {
 		return KneeSearchResult{}, fmt.Errorf("experiment: knee search needs a positive SLO")
 	}
@@ -61,27 +56,58 @@ func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 		return ok, nil
 	}
 
-	okLo, err := probe(lo)
+	users, violation, err := kneeBisect(probe, lo, hi, resolution)
 	if err != nil {
+		if errors.Is(err, errKneeLowerBound) {
+			return res, fmt.Errorf("experiment: lower bound %d users already violates the %g ms SLO", lo, sloMS)
+		}
 		return res, err
 	}
+	res.Users = users
+	res.ViolationUsers = violation
+	return res, nil
+}
+
+// errKneeLowerBound marks a search whose lower bound already fails the
+// acceptance predicate, so no bracket exists.
+var errKneeLowerBound = errors.New("experiment: knee-search lower bound fails the predicate")
+
+// kneeBisect is the trial-free bisection core of KneeSearch: it locates
+// the boundary of an acceptance predicate over the user axis. probe
+// reports whether a population meets the objective; the search assumes the
+// predicate is (approximately) monotone — true at lo, false at hi —
+// bisects the bracket to the requested resolution, and returns the last
+// accepted population plus the smallest probed violation (0 when hi
+// passes). On a non-monotone predicate it still terminates in O(log n)
+// probes with probe(users) = true and probe(violation) = false; which
+// boundary it converges to depends on which probes land in the dips.
+func kneeBisect(probe func(users int) (bool, error), lo, hi, resolution int) (users, violation int, err error) {
+	if lo < 1 || hi <= lo {
+		return 0, 0, fmt.Errorf("experiment: knee search needs 1 <= lo < hi")
+	}
+	if resolution < 1 {
+		resolution = 1
+	}
+	okLo, err := probe(lo)
+	if err != nil {
+		return 0, 0, err
+	}
 	if !okLo {
-		return res, fmt.Errorf("experiment: lower bound %d users already violates the %g ms SLO", lo, sloMS)
+		return 0, lo, errKneeLowerBound
 	}
 	okHi, err := probe(hi)
 	if err != nil {
-		return res, err
+		return 0, 0, err
 	}
 	if okHi {
-		res.Users = hi
-		return res, nil
+		return hi, 0, nil
 	}
 	good, bad := lo, hi
 	for bad-good > resolution {
 		mid := (good + bad) / 2
 		ok, err := probe(mid)
 		if err != nil {
-			return res, err
+			return 0, 0, err
 		}
 		if ok {
 			good = mid
@@ -89,7 +115,5 @@ func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 			bad = mid
 		}
 	}
-	res.Users = good
-	res.ViolationUsers = bad
-	return res, nil
+	return good, bad, nil
 }

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// countingProbe wraps a synthetic acceptance predicate, recording probe
+// order for convergence assertions.
+func countingProbe(ok func(users int) bool) (func(int) (bool, error), *[]int) {
+	var probed []int
+	return func(users int) (bool, error) {
+		probed = append(probed, users)
+		return ok(users), nil
+	}, &probed
+}
+
+func TestKneeBisectConvergesOnMonotoneCurve(t *testing.T) {
+	// A crisp knee: populations up to 737 meet the SLO, everything above
+	// violates it. The search must bracket the knee to the resolution.
+	const knee = 737
+	for _, resolution := range []int{1, 10, 100} {
+		probe, probed := countingProbe(func(u int) bool { return u <= knee })
+		users, violation, err := kneeBisect(probe, 1, 2048, resolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if users > knee || violation <= knee {
+			t.Fatalf("resolution=%d: bracket [%d, %d] does not straddle the knee %d",
+				resolution, users, violation, knee)
+		}
+		if violation-users > resolution {
+			t.Fatalf("resolution=%d: bracket width %d exceeds resolution",
+				resolution, violation-users)
+		}
+		// O(log n) probes: bracket + one halving per iteration.
+		if n := len(*probed); n > 14 {
+			t.Fatalf("resolution=%d: %d probes for a 2048-wide bracket, want <= 14", resolution, n)
+		}
+	}
+}
+
+func TestKneeBisectExactKneeAtResolutionOne(t *testing.T) {
+	const knee = 512
+	probe, _ := countingProbe(func(u int) bool { return u <= knee })
+	users, violation, err := kneeBisect(probe, 1, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users != knee || violation != knee+1 {
+		t.Fatalf("resolution 1 should pin the knee exactly: got [%d, %d], want [%d, %d]",
+			users, violation, knee, knee+1)
+	}
+}
+
+func TestKneeBisectNonMonotoneStillBrackets(t *testing.T) {
+	// Saturation noise: a dip at 600–650 violates the SLO even though
+	// higher populations up to the real knee at 900 pass again. Whatever
+	// boundary the probes land on, the invariant holds: the returned
+	// bracket has an accepted left edge, a violating right edge, and is no
+	// wider than the resolution.
+	ok := func(u int) bool {
+		if u >= 600 && u <= 650 {
+			return false
+		}
+		return u <= 900
+	}
+	probe, _ := countingProbe(ok)
+	users, violation, err := kneeBisect(probe, 1, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok(users) {
+		t.Fatalf("returned users=%d violates the predicate", users)
+	}
+	if ok(violation) {
+		t.Fatalf("returned violation=%d meets the predicate", violation)
+	}
+	if violation-users > 5 {
+		t.Fatalf("bracket [%d, %d] wider than resolution", users, violation)
+	}
+}
+
+func TestKneeBisectNeverViolated(t *testing.T) {
+	probe, probed := countingProbe(func(int) bool { return true })
+	users, violation, err := kneeBisect(probe, 100, 1500, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users != 1500 || violation != 0 {
+		t.Fatalf("unviolated SLO should report hi with no violation: got (%d, %d)", users, violation)
+	}
+	if len(*probed) != 2 {
+		t.Fatalf("unviolated search should stop after bracketing, probed %v", *probed)
+	}
+}
+
+func TestKneeBisectAlwaysViolated(t *testing.T) {
+	probe, probed := countingProbe(func(int) bool { return false })
+	_, violation, err := kneeBisect(probe, 100, 1500, 50)
+	if !errors.Is(err, errKneeLowerBound) {
+		t.Fatalf("always-violated SLO should fail on the lower bound, got %v", err)
+	}
+	if violation != 100 {
+		t.Fatalf("violation = %d, want the lower bound 100", violation)
+	}
+	if len(*probed) != 1 {
+		t.Fatalf("lower-bound violation should stop immediately, probed %v", *probed)
+	}
+}
+
+func TestKneeBisectValidatesBounds(t *testing.T) {
+	probe, probed := countingProbe(func(int) bool { return true })
+	for _, c := range [][2]int{{0, 100}, {100, 100}, {100, 50}} {
+		if _, _, err := kneeBisect(probe, c[0], c[1], 1); err == nil {
+			t.Fatalf("bounds lo=%d hi=%d should be rejected", c[0], c[1])
+		}
+	}
+	if len(*probed) != 0 {
+		t.Fatalf("invalid bounds must not spend probes, probed %v", *probed)
+	}
+}
+
+func TestKneeBisectResolutionClamped(t *testing.T) {
+	probe, _ := countingProbe(func(u int) bool { return u <= 10 })
+	users, violation, err := kneeBisect(probe, 1, 100, -7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users != 10 || violation != 11 {
+		t.Fatalf("non-positive resolution should clamp to 1: got [%d, %d]", users, violation)
+	}
+}
+
+func TestKneeBisectPropagatesProbeErrors(t *testing.T) {
+	boom := fmt.Errorf("testbed gone")
+	calls := 0
+	probe := func(int) (bool, error) {
+		calls++
+		if calls == 3 {
+			return false, boom
+		}
+		return calls == 1, nil // lo passes, hi fails, then the error
+	}
+	if _, _, err := kneeBisect(probe, 1, 1000, 1); !errors.Is(err, boom) {
+		t.Fatalf("mid-search probe error lost: %v", err)
+	}
+}

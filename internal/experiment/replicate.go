@@ -102,6 +102,10 @@ func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *dep
 		last = out
 		r := out.Result
 		if i == 0 {
+			// agg starts as replica 0's result, which also carries that
+			// replica's trace report (when tracing is on): trace analysis is
+			// per-kernel, so the aggregate keeps the deterministic first
+			// replica's view rather than merging incomparable span sets.
 			agg = r
 			agg.TierCPU = map[string]float64{}
 			agg.HostCPU = map[string]float64{}

@@ -70,6 +70,14 @@ type Runner struct {
 	// fresh attempt-mixed seed, and the last attempt's result is kept
 	// (0 = no retries).
 	TrialRetries int
+	// TraceRate head-samples this fraction of every trial's measured
+	// requests into span traces (0 = tracing off). Each trial's traced
+	// subset derives purely from its coordinates, so seeded traced sweeps
+	// are byte-identical for every Parallel/TrialParallel value.
+	TraceRate float64
+	// TraceExemplars is the number of slowest traces each traced trial
+	// persists in full in its stored result.
+	TraceExemplars int
 
 	// clusterMu serializes cluster mutations (allocate/deploy/release).
 	clusterMu sync.Mutex
@@ -295,11 +303,13 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 	roles := serverRoles(d)
 	cfgFor := func(pt gridPoint) TrialConfig {
 		return TrialConfig{
-			Users:         pt.users,
-			WriteRatioPct: pt.wr,
-			TimeScale:     r.TimeScale,
-			RootSeed:      r.Seed,
-			FaultProfile:  profName,
+			Users:          pt.users,
+			WriteRatioPct:  pt.wr,
+			TimeScale:      r.TimeScale,
+			RootSeed:       r.Seed,
+			FaultProfile:   profName,
+			TraceRate:      r.TraceRate,
+			TraceExemplars: r.TraceExemplars,
 			FaultPlan: prof.TrialPlan(r.Seed, e.Name, d.Topology.String(), roles,
 				pt.users, pt.wr, e.Trial.RunSec),
 		}
@@ -433,11 +443,13 @@ func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, w
 		profName = prof.Name
 	}
 	out, terr := r.runPoint(e, d, placement, TrialConfig{
-		Users:         users,
-		WriteRatioPct: writeRatioPct,
-		TimeScale:     r.TimeScale,
-		RootSeed:      r.Seed,
-		FaultProfile:  profName,
+		Users:          users,
+		WriteRatioPct:  writeRatioPct,
+		TimeScale:      r.TimeScale,
+		RootSeed:       r.Seed,
+		FaultProfile:   profName,
+		TraceRate:      r.TraceRate,
+		TraceExemplars: r.TraceExemplars,
 		FaultPlan: prof.TrialPlan(r.Seed, e.Name, d.Topology.String(), serverRoles(d),
 			users, writeRatioPct, e.Trial.RunSec),
 	}, workers)

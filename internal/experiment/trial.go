@@ -10,6 +10,7 @@ import (
 	"elba/internal/sim"
 	"elba/internal/spec"
 	"elba/internal/store"
+	"elba/internal/trace"
 )
 
 // FailureErrorRate is the error fraction above which a trial is recorded
@@ -44,6 +45,14 @@ type TrialConfig struct {
 	// retried trial draws a fresh random universe; attempt 0 preserves the
 	// historical derivation bit-for-bit.
 	Attempt int
+	// TraceRate head-samples this fraction of measured requests into span
+	// traces (0 = tracing off). The sampling stream derives from the trial
+	// seed under its own domain label, so enabling tracing never perturbs
+	// what the trial measures.
+	TraceRate float64
+	// TraceExemplars is the number of slowest traces persisted in full in
+	// the stored result when tracing is on.
+	TraceExemplars int
 }
 
 // TrialOutcome carries a trial's stored result plus the raw monitoring
@@ -112,6 +121,16 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 		MaxSessions: maxSessions,
 	}, seed^0x5eed)
 
+	// Request-level tracing: one single-owner collector per trial, seeded
+	// from the trial seed under the "trace" domain, so the traced subset is
+	// a pure function of the trial coordinates — identical for any worker
+	// count, and absent entirely when the rate is zero.
+	var tracer *trace.Collector
+	if cfg.TraceRate > 0 {
+		tracer = trace.NewCollector(trace.SeedFor(seed), cfg.TraceRate)
+		driver.SetTracer(tracer)
+	}
+
 	probes, stationOf, hostOf := buildProbes(d, p, nt, model)
 	mon, err := monitor.New(k, monitor.Config{
 		IntervalSec: e.Monitor.IntervalSec * ts,
@@ -160,6 +179,9 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	res := assembleResult(e, d, driver, mon, stationOf, hostOf, cfg, runStart, runEnd)
 	res.DeployRetries = p.Retries
 	res.DeploySeconds = p.DeploySec
+	if tracer != nil {
+		res.Trace = trace.BuildReport(tracer, cfg.TraceExemplars)
+	}
 	return &TrialOutcome{Result: res, Monitor: mon, RunWindow: [2]float64{runStart, runEnd}}, nil
 }
 

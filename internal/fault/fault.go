@@ -154,15 +154,15 @@ func (p Profile) Enabled() bool {
 var builtins = []Profile{
 	{Name: "none"},
 	{
-		Name:      "light",
-		Crashes:   0.05, Slowdowns: 0.25, Stalls: 0.15, Bursts: 0.2,
+		Name:    "light",
+		Crashes: 0.05, Slowdowns: 0.25, Stalls: 0.15, Bursts: 0.2,
 		OutageFrac: 0.1, SlowFactor: 0.6, StallFactor: 0.05, BurstErrorRate: 0.15,
 		SlowNodeProb: 0.05, SlowNodeFactor: 0.75,
 		GlitchProb: 0.02, MaxGlitches: 2,
 	},
 	{
-		Name:      "heavy",
-		Crashes:   0.5, Slowdowns: 0.8, Stalls: 0.5, Bursts: 0.8,
+		Name:    "heavy",
+		Crashes: 0.5, Slowdowns: 0.8, Stalls: 0.5, Bursts: 0.8,
 		OutageFrac: 0.25, SlowFactor: 0.45, StallFactor: 0.02, BurstErrorRate: 0.35,
 		SlowNodeProb: 0.2, SlowNodeFactor: 0.6,
 		GlitchProb: 0.1, MaxGlitches: 3,

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Quantile is monotone non-decreasing in q for any observation
+// set, including ones full of clamped under/overflow values.
+func TestHistogramQuantileMonotoneInQ(t *testing.T) {
+	f := func(raw []float64, seed uint64) bool {
+		h := NewHistogram(-50, 50, 40)
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Observe(math.Mod(x, 200)) // spread across in-range and clamped
+		}
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+		prevQ, prevV := 0.0, h.Quantile(0)
+		for i := 0; i < 20; i++ {
+			q := prevQ + rng.Float64()*(1-prevQ)
+			v := h.Quantile(q)
+			if v < prevV {
+				t.Logf("quantile not monotone: Q(%g)=%g < Q(%g)=%g", q, v, prevQ, prevV)
+				return false
+			}
+			prevQ, prevV = q, v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on uniform in-range data the bucketed estimate agrees with the
+// exact order statistics from Sample to within one bucket width.
+func TestHistogramQuantileAgreesWithSampleWithinBucket(t *testing.T) {
+	const lo, hi, buckets = 0.0, 100.0, 50
+	width := (hi - lo) / buckets
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xdeadbeef))
+		h := NewHistogram(lo, hi, buckets)
+		s := NewSample(0)
+		n := 100 + int(seed%400)
+		for i := 0; i < n; i++ {
+			x := lo + rng.Float64()*(hi-lo)
+			h.Observe(x)
+			s.Observe(x)
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+			if d := math.Abs(h.Quantile(q) - s.Quantile(q)); d > width {
+				t.Logf("q=%g: histogram %.3f vs sample %.3f (diff %.3f > bucket width %.3f)",
+					q, h.Quantile(q), s.Quantile(q), d, width)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Degenerate inputs: empty histograms answer 0 for every q; histograms
+// holding only clamped values answer within the clamping bucket's bounds.
+func TestHistogramQuantileDegenerateInputs(t *testing.T) {
+	empty := NewHistogram(0, 10, 10)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, v)
+		}
+	}
+
+	under := NewHistogram(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		under.Observe(-100)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := under.Quantile(q); v < 0 || v > 1 {
+			t.Fatalf("underflow-only Quantile(%g) = %g, want within first bucket [0,1)", q, v)
+		}
+	}
+
+	over := NewHistogram(0, 10, 10)
+	for i := 0; i < 5; i++ {
+		over.Observe(1e9)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := over.Quantile(q); v < 9 || v > 10 {
+			t.Fatalf("overflow-only Quantile(%g) = %g, want within last bucket [9,10)", q, v)
+		}
+	}
+}

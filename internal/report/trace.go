@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"elba/internal/bottleneck"
+	"elba/internal/store"
+	"elba/internal/trace"
+)
+
+// Trace-report rendering: the observation apparatus extended inside the
+// request path. Where the monitor observes tiers from the outside (CPU,
+// network, disk), traced requests observe them from the inside — how long
+// each hop queued and how long it was served — and these tables put the
+// two views side by side.
+
+// tracedResults selects the experiment's traced results in canonical key
+// order (topology scale-out order, then write ratio, then users), so the
+// rendered tables and exports are byte-identical however trials ran.
+func tracedResults(st *store.Store, experiment string) []store.Result {
+	var out []store.Result
+	for _, topo := range st.Topologies(experiment) {
+		rs := st.Filter(func(r store.Result) bool {
+			return r.Key.Experiment == experiment && r.Key.Topology == topo && r.Trace != nil
+		})
+		sort.Slice(rs, func(i, j int) bool {
+			a, b := rs[i].Key, rs[j].Key
+			if a.WriteRatioPct != b.WriteRatioPct {
+				return a.WriteRatioPct < b.WriteRatioPct
+			}
+			return a.Users < b.Users
+		})
+		out = append(out, rs...)
+	}
+	return out
+}
+
+// TableTraceDecomp renders the per-tier latency decomposition of every
+// traced trial in an experiment: for each workload point and interaction
+// class, the mean and 95th-percentile queue-wait and service time each
+// tier contributed to the response.
+func TableTraceDecomp(st *store.Store, experiment string) string {
+	t := NewTable(fmt.Sprintf("Per-tier latency decomposition — %s", experiment),
+		"Config (w-a-d)", "Users", "Write %", "Class", "Tier", "Reqs",
+		"Wait ms (mean)", "Wait ms (p95)", "Svc ms (mean)", "Svc ms (p95)")
+	for _, r := range tracedResults(st, experiment) {
+		for _, row := range r.Trace.Rows {
+			t.AddRow(r.Key.Topology,
+				fmt.Sprint(r.Key.Users), fmt.Sprintf("%g", r.Key.WriteRatioPct),
+				row.Interaction, row.Tier, fmt.Sprint(row.Count),
+				fmt.Sprintf("%.2f", row.MeanWaitMs), fmt.Sprintf("%.2f", row.P95WaitMs),
+				fmt.Sprintf("%.2f", row.MeanSvcMs), fmt.Sprintf("%.2f", row.P95SvcMs))
+		}
+	}
+	return t.String()
+}
+
+// TableTraceVerdict renders the critical-path bottleneck attribution of
+// every traced trial next to the utilization-based verdict from the same
+// trial's monitoring data — the cross-check between the request's view
+// and the resource monitor's view of the same saturation.
+func TableTraceVerdict(st *store.Store, experiment string, th bottleneck.Thresholds) string {
+	t := NewTable(fmt.Sprintf("Critical-path vs utilization bottleneck — %s", experiment),
+		"Config (w-a-d)", "Users", "Write %", "Traced", "Critical tier",
+		"Share", "Queued", "CPU verdict", "Agree")
+	for _, r := range tracedResults(st, experiment) {
+		tv := r.Trace.Verdict
+		cv := bottleneck.Detect(r, th)
+		agree := "-"
+		// The verdicts are comparable only when both name a server tier:
+		// an unsaturated system legitimately has a critical path (some
+		// tier always dominates) but no CPU bottleneck.
+		if cv.Saturated && tv.Tier != "none" {
+			if cv.Tier == tv.Tier {
+				agree = "yes"
+			} else {
+				agree = "NO"
+			}
+		}
+		t.AddRow(r.Key.Topology,
+			fmt.Sprint(r.Key.Users), fmt.Sprintf("%g", r.Key.WriteRatioPct),
+			fmt.Sprint(tv.Traces), tv.Tier,
+			fmt.Sprintf("%.0f%%", tv.Share*100), fmt.Sprintf("%.0f%%", tv.QueueShare*100),
+			cv.Tier, agree)
+	}
+	return t.String()
+}
+
+// TraceEventsJSON exports every traced trial's exemplar traces as one
+// Chrome trace-event file (chrome://tracing, Perfetto). Each workload
+// point becomes one process row named by its store key; each exemplar
+// becomes a thread under it. Experiments are emitted in argument order.
+func TraceEventsJSON(st *store.Store, experiments ...string) ([]byte, error) {
+	var groups []trace.ExemplarGroup
+	for _, experiment := range experiments {
+		for _, r := range tracedResults(st, experiment) {
+			if len(r.Trace.Exemplars) == 0 {
+				continue
+			}
+			groups = append(groups, trace.ExemplarGroup{
+				Name:      r.Key.String(),
+				Exemplars: r.Trace.Exemplars,
+			})
+		}
+	}
+	return trace.ChromeJSON(groups)
+}

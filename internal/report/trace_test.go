@@ -1,0 +1,140 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"elba/internal/bottleneck"
+	"elba/internal/store"
+	"elba/internal/trace"
+)
+
+// tracedStore builds a store with two traced results (one saturated, one
+// not) and one untraced result, enough to exercise every trace table.
+func tracedStore() *store.Store {
+	st := store.New()
+	mkTrace := func(tier string, share, queue float64) *trace.Report {
+		return &trace.Report{
+			Rate:    1,
+			Sampled: 40,
+			Verdict: trace.Verdict{Tier: tier, Share: share, QueueShare: queue, Traces: 40},
+			Rows: []trace.DecompRow{
+				{Interaction: "all", Tier: "web", Count: 40, MeanWaitMs: 0.1, P95WaitMs: 0.3, MeanSvcMs: 1, P95SvcMs: 2},
+				{Interaction: "all", Tier: "app", Count: 40, MeanWaitMs: 5, P95WaitMs: 20, MeanSvcMs: 8, P95SvcMs: 12},
+				{Interaction: "all", Tier: "db", Count: 40, MeanWaitMs: 1, P95WaitMs: 4, MeanSvcMs: 3, P95SvcMs: 6},
+				{Interaction: "browse", Tier: "app", Count: 30, MeanWaitMs: 4, P95WaitMs: 18, MeanSvcMs: 7, P95SvcMs: 11},
+			},
+			Exemplars: []trace.Exemplar{{
+				Interaction: "browse", Session: 3, IssuedSec: 12.5, RTms: 90,
+				Outcome: "ok", CriticalTier: "app",
+				Spans: []trace.SpanRecord{
+					{Tier: "web", Station: "WEB0", StartSec: 12.5, WaitMs: 0, ServiceMs: 2},
+					{Tier: "app", Station: "APP1", StartSec: 12.502, WaitMs: 60, ServiceMs: 20},
+					{Tier: "db", Station: "DB0", StartSec: 12.582, WaitMs: 2, ServiceMs: 6},
+				},
+			}},
+		}
+	}
+	st.Put(store.Result{
+		Key:       store.Key{Experiment: "exp", Topology: "1-2-1", Users: 500, WriteRatioPct: 15},
+		Completed: true,
+		TierCPU:   map[string]float64{"web": 9, "app": 88, "db": 25},
+		Trace:     mkTrace("app", 0.9, 0.8),
+	})
+	st.Put(store.Result{
+		Key:       store.Key{Experiment: "exp", Topology: "1-2-1", Users: 100, WriteRatioPct: 15},
+		Completed: true,
+		TierCPU:   map[string]float64{"web": 2, "app": 18, "db": 6},
+		Trace:     mkTrace("app", 0.7, 0.1),
+	})
+	st.Put(store.Result{
+		Key:       store.Key{Experiment: "exp", Topology: "1-1-1", Users: 100, WriteRatioPct: 15},
+		Completed: true,
+	})
+	return st
+}
+
+func TestTableTraceDecomp(t *testing.T) {
+	out := TableTraceDecomp(tracedStore(), "exp")
+	for _, want := range []string{"1-2-1", "all", "browse", "web", "app", "db", "Per-tier latency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("decomposition table missing %q:\n%s", want, out)
+		}
+	}
+	// Untraced results contribute no rows.
+	if strings.Contains(out, "1-1-1") {
+		t.Fatalf("untraced result leaked into decomposition table:\n%s", out)
+	}
+	// Canonical order: u=100 rows before u=500 rows.
+	if strings.Index(out, "100") > strings.Index(out, "500") {
+		t.Fatalf("rows out of canonical user order:\n%s", out)
+	}
+}
+
+func TestTableTraceVerdict(t *testing.T) {
+	out := TableTraceVerdict(tracedStore(), "exp", bottleneck.DefaultThresholds)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two traced rows
+		t.Fatalf("verdict table has %d lines:\n%s", len(lines), out)
+	}
+	// The saturated point (app CPU 88%) agrees with the trace verdict.
+	var saturatedRow string
+	for _, l := range lines {
+		if strings.Contains(l, "500") {
+			saturatedRow = l
+		}
+	}
+	if !strings.Contains(saturatedRow, "yes") {
+		t.Fatalf("saturated point should agree:\n%s", out)
+	}
+	// The unsaturated point has no CPU verdict to compare against.
+	for _, l := range lines {
+		if strings.Contains(l, "100") && !strings.Contains(l, "-") {
+			t.Fatalf("unsaturated point should render '-' for agreement:\n%s", out)
+		}
+	}
+}
+
+func TestTraceEventsJSONExport(t *testing.T) {
+	data, err := TraceEventsJSON(tracedStore(), "exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// Two traced results × (process meta + thread meta + root + 2 wait +
+	// 3 service) — the web span has zero wait and emits no wait slice.
+	if len(f.TraceEvents) == 0 {
+		t.Fatalf("no events exported")
+	}
+	var roots, metas int
+	for _, ev := range f.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Name == "browse" {
+				roots++
+				if ev.Dur != 90_000 { // 90 ms in microseconds
+					t.Fatalf("root duration = %f us, want 90000", ev.Dur)
+				}
+			}
+		case "M":
+			metas++
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("exported %d root slices, want 2", roots)
+	}
+	if metas != 4 { // process_name + thread_name per group
+		t.Fatalf("exported %d metadata events, want 4", metas)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 
 	"elba/internal/metrics"
+	"elba/internal/trace"
 )
 
 // RequestRecord is the driver's log entry for one completed request, the
@@ -65,6 +66,11 @@ type Driver struct {
 	errRate  float64
 	injected int64
 
+	// tracer, when set, head-samples measured requests into span traces.
+	// The keep/drop decision is a pure function of (tracer seed, issue
+	// index), so the traced subset is identical for any worker count.
+	tracer *trace.Collector
+
 	users  []*user
 	active int
 
@@ -92,6 +98,7 @@ type user struct {
 	// in-flight request state; valid between issue and requestDone.
 	it       Interaction
 	issuedAt float64
+	tr       *trace.Trace
 }
 
 // act handles the user's timer events.
@@ -128,7 +135,10 @@ func (u *user) act(tag int32) {
 	u.it = it
 	u.issuedAt = d.k.Now()
 	d.issued++
-	d.app.serveSession(u.id, it, u)
+	if d.tracer != nil && d.measuring && d.tracer.Sample(uint64(d.issued)) {
+		u.tr = d.tracer.Start(it.Name, u.id, u.issuedAt, it.Write)
+	}
+	d.app.serveSession(u.id, it, u, u.tr)
 }
 
 // requestDone receives the end-to-end outcome of the user's in-flight
@@ -137,6 +147,10 @@ func (u *user) act(tag int32) {
 func (u *user) requestDone(out Outcome) {
 	d := u.d
 	rt := d.k.Now() - u.issuedAt
+	if u.tr != nil {
+		d.tracer.Commit(u.tr, rt, out.String())
+		u.tr = nil
+	}
 	d.complete(u.it, u.issuedAt, rt, out)
 	u.loop()
 }
@@ -253,10 +267,12 @@ func (d *Driver) complete(it Interaction, issued, rt float64, out Outcome) {
 }
 
 // BeginMeasurement starts recording requests; the trial runner calls this
-// at the end of the warm-up period.
+// at the end of the warm-up period. Any previously recorded window is
+// released, not truncated, so slices returned by earlier Records calls
+// stay valid.
 func (d *Driver) BeginMeasurement() {
 	d.measuring = true
-	d.records = d.records[:0]
+	d.records = nil
 	d.rtSample.Reset()
 	for _, s := range d.perIx {
 		s.Reset()
@@ -269,8 +285,17 @@ func (d *Driver) BeginMeasurement() {
 // EndMeasurement stops recording.
 func (d *Driver) EndMeasurement() { d.measuring = false }
 
-// Records returns the measured request log (shared, not copied).
+// Records returns the measured request log (shared, not copied). The
+// returned slice is never overwritten by a later measurement window:
+// BeginMeasurement starts a fresh log rather than truncating this one.
 func (d *Driver) Records() []RequestRecord { return d.records }
+
+// SetTracer attaches a per-trial trace collector. While measuring, each
+// issued request is head-sampled by the collector; sampled requests carry
+// a span trace through the tiers and commit at completion. Call with nil
+// to disable. Tracing never touches the driver's random streams, so a
+// traced run issues the identical request sequence as an untraced one.
+func (d *Driver) SetTracer(c *trace.Collector) { d.tracer = c }
 
 // ResponseTimes returns the sample of successful response times measured.
 func (d *Driver) ResponseTimes() *metrics.Sample { return d.rtSample }

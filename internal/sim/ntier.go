@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"elba/internal/trace"
+)
 
 // NTier is an assembled n-tier application deployment: a web tier that
 // distributes requests, a replicated application tier, and a RAIDb-1
@@ -69,40 +73,72 @@ func (f outcomeFunc) requestDone(o Outcome) { f(o) }
 // call is the pooled routing state of one in-flight request. Its stages
 // mirror the benchmarks' request path: web tier, then app tier, then one
 // database operation.
+//
+// When the request is traced (tr != nil) the call records one span per
+// tier hop: the serving station is noted at dispatch, and the hop's
+// queue-wait/service split arrives with the station's completion
+// callback. Untraced requests skip every tracing branch, so the disabled
+// path stays allocation-free and byte-identical to historical behaviour.
 type call struct {
-	nt      *NTier
-	done    outcomeDone
-	session int
-	stage   int8
-	write   bool
+	nt                  *NTier
+	done                outcomeDone
+	session             int
+	stage               int8
+	write               bool
 	appDemand, dbDemand float64
+
+	// tracing state; valid only while tr != nil.
+	tr         *trace.Trace
+	hopStation string
+	hopStart   float64
 }
 
-func (c *call) jobFinished(ok bool, _, _ float64) {
+// dispatch submits the job to st, noting the hop for span attribution
+// when the request is traced.
+func (c *call) dispatch(st *Station, demand float64) {
+	if c.tr != nil {
+		c.hopStation = st.name
+		c.hopStart = st.k.Now()
+	}
+	st.submit(demand, c)
+}
+
+func (c *call) jobFinished(ok bool, wait, service float64) {
 	switch c.stage {
 	case 0: // web tier finished
+		if c.tr != nil {
+			c.tr.AddSpan(trace.TierWeb, c.hopStation, c.hopStart, wait, service, ok)
+		}
 		if !ok {
 			c.finish(Rejected)
 			return
 		}
 		c.stage = 1
 		if c.nt.StickyApp && c.session >= 0 {
-			c.nt.App.submitPinnedJob(c.session, c.appDemand, c)
+			c.dispatch(c.nt.App.pinned(c.session), c.appDemand)
 		} else {
-			c.nt.App.submitJob(c.appDemand, c)
+			c.dispatch(c.nt.App.pick(), c.appDemand)
 		}
 	case 1: // app tier finished
+		if c.tr != nil {
+			c.tr.AddSpan(trace.TierApp, c.hopStation, c.hopStart, wait, service, ok)
+		}
 		if !ok {
 			c.finish(Rejected)
 			return
 		}
 		c.stage = 2
 		if c.write {
-			c.nt.DB.writeJob(c.dbDemand, c)
+			// Broadcast writes fan out one span per replica; the legs
+			// record them, so the aggregated completion below must not.
+			c.nt.DB.writeJobTraced(c.dbDemand, c, c.tr)
 		} else {
-			c.nt.DB.readJob(c.dbDemand, c)
+			c.dispatch(c.nt.DB.pickRead(), c.dbDemand)
 		}
 	default: // database finished
+		if c.tr != nil && !c.write {
+			c.tr.AddSpan(trace.TierDB, c.hopStation, c.hopStart, wait, service, ok)
+		}
 		if !ok {
 			c.finish(Failed)
 			return
@@ -114,6 +150,7 @@ func (c *call) jobFinished(ok bool, _, _ float64) {
 func (c *call) finish(o Outcome) {
 	done := c.done
 	c.done = nil
+	c.tr = nil
 	c.nt.pool = append(c.nt.pool, c)
 	done.requestDone(o)
 }
@@ -129,12 +166,19 @@ func (nt *NTier) Serve(it Interaction, done func(Outcome)) {
 // completion; ServeSession itself adds no hidden delays. When StickyApp
 // is set and session >= 0, the app tier uses the session's pinned server.
 func (nt *NTier) ServeSession(session int, it Interaction, done func(Outcome)) {
-	nt.serveSession(session, it, outcomeFunc(done))
+	nt.serveSession(session, it, outcomeFunc(done), nil)
+}
+
+// ServeTraced is ServeSession with request-level tracing: one span per
+// tier hop is recorded into tr as the request traverses the pipeline.
+// A nil tr is equivalent to ServeSession.
+func (nt *NTier) ServeTraced(session int, it Interaction, done func(Outcome), tr *trace.Trace) {
+	nt.serveSession(session, it, outcomeFunc(done), tr)
 }
 
 // serveSession is the allocation-free form of ServeSession used by the
-// driver's closed loop.
-func (nt *NTier) serveSession(session int, it Interaction, done outcomeDone) {
+// driver's closed loop. tr, when non-nil, receives one span per tier hop.
+func (nt *NTier) serveSession(session int, it Interaction, done outcomeDone, tr *trace.Trace) {
 	var c *call
 	if n := len(nt.pool); n > 0 {
 		c = nt.pool[n-1]
@@ -148,7 +192,8 @@ func (nt *NTier) serveSession(session int, it Interaction, done outcomeDone) {
 	c.write = it.Write
 	c.appDemand = it.AppDemand
 	c.dbDemand = it.DBDemand
-	nt.Web.submitJob(it.WebDemand, c)
+	c.tr = tr
+	c.dispatch(nt.Web.pick(), it.WebDemand)
 }
 
 // ResetAccounting resets counters on all tiers.

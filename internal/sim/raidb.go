@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"elba/internal/trace"
+)
 
 // RAIDb models a C-JDBC RAIDb-1 (full replication) database cluster, the
 // configuration the paper's generated mysqldb-raidb1-elba.xml file
@@ -19,6 +23,8 @@ type RAIDb struct {
 	// wpool recycles write-broadcast trackers so a broadcast write costs
 	// no allocation on the simulation hot path.
 	wpool []*writeCall
+	// lpool recycles per-replica write legs used only by traced writes.
+	lpool []*writeLeg
 }
 
 // NewRAIDb creates a replicated DB tier over the given replica stations.
@@ -57,11 +63,6 @@ func (r *RAIDb) pickRead() *Station {
 // Read dispatches a read query to one replica.
 func (r *RAIDb) Read(demand float64, done Completion) {
 	r.pickRead().submit(demand, completionFunc(done))
-}
-
-// readJob is the allocation-free form of Read used by the request router.
-func (r *RAIDb) readJob(demand float64, done jobDone) {
-	r.pickRead().submit(demand, done)
 }
 
 // writeCall tracks one broadcast write across the replicas. Trackers are
@@ -119,6 +120,60 @@ func (r *RAIDb) writeJob(demand float64, done jobDone) {
 	w.maxWait, w.maxSvc = 0, 0
 	for _, rep := range r.replicas {
 		rep.submit(demand, w)
+	}
+}
+
+// writeLeg observes one replica's share of a traced broadcast write: it
+// records the replica's span into the trace, then forwards the completion
+// to the broadcast tracker. The aggregated jobFinished the tracker emits
+// still carries the slowest leg's (wait, service), so traced and untraced
+// writes produce identical request-level outcomes. Legs are pooled so
+// traced writes allocate nothing in steady state.
+type writeLeg struct {
+	w       *writeCall
+	tr      *trace.Trace
+	station string
+	start   float64
+}
+
+func (l *writeLeg) jobFinished(ok bool, wait, service float64) {
+	w := l.w
+	l.tr.AddSpan(trace.TierDB, l.station, l.start, wait, service, ok)
+	l.w, l.tr = nil, nil
+	w.r.lpool = append(w.r.lpool, l)
+	w.jobFinished(ok, wait, service)
+}
+
+// writeJobTraced is writeJob with per-replica span capture into tr. A nil
+// tr takes the untraced path, keeping the hot path branch-identical to
+// historical behaviour.
+func (r *RAIDb) writeJobTraced(demand float64, done jobDone, tr *trace.Trace) {
+	if tr == nil {
+		r.writeJob(demand, done)
+		return
+	}
+	var w *writeCall
+	if n := len(r.wpool); n > 0 {
+		w = r.wpool[n-1]
+		r.wpool = r.wpool[:n-1]
+	} else {
+		w = &writeCall{r: r}
+	}
+	w.parent = done
+	w.remaining = len(r.replicas)
+	w.allOK = true
+	w.maxWait, w.maxSvc = 0, 0
+	now := r.k.Now()
+	for _, rep := range r.replicas {
+		var l *writeLeg
+		if n := len(r.lpool); n > 0 {
+			l = r.lpool[n-1]
+			r.lpool = r.lpool[:n-1]
+		} else {
+			l = &writeLeg{}
+		}
+		l.w, l.tr, l.station, l.start = w, tr, rep.name, now
+		rep.submit(demand, l)
 	}
 }
 

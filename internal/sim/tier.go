@@ -82,25 +82,21 @@ func (t *Tier) Submit(demand float64, done Completion) {
 	t.pick().submit(demand, completionFunc(done))
 }
 
-// submitJob is the allocation-free form of Submit used by the request
-// router.
-func (t *Tier) submitJob(demand float64, done jobDone) {
-	t.pick().submit(demand, done)
-}
-
 // SubmitPinned dispatches to the station assigned to affinity key pin,
 // as Apache mod_jk's sticky sessions pin a user's session to one
 // application server.
 func (t *Tier) SubmitPinned(pin int, demand float64, done Completion) {
-	t.submitPinnedJob(pin, demand, completionFunc(done))
+	t.pinned(pin).submit(demand, completionFunc(done))
 }
 
-// submitPinnedJob is the allocation-free form of SubmitPinned.
-func (t *Tier) submitPinnedJob(pin int, demand float64, done jobDone) {
+// pinned selects the station assigned to affinity key pin. The request
+// router uses it so the traced path can note which station serves a hop
+// before submitting.
+func (t *Tier) pinned(pin int) *Station {
 	if pin < 0 {
 		pin = -pin
 	}
-	t.stations[pin%len(t.stations)].submit(demand, done)
+	return t.stations[pin%len(t.stations)]
 }
 
 // Completed sums completed jobs across the tier's stations.

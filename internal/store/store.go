@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 
 	"elba/internal/metrics"
+	"elba/internal/trace"
 	"fmt"
 	"sort"
 	"strings"
@@ -90,6 +91,12 @@ type Result struct {
 	// Attempts counts trial attempts consumed at this workload point
 	// (1 = succeeded first try; set only when a retry budget is active).
 	Attempts int `json:"attempts,omitempty"`
+
+	// Trace is the request-level tracing report (per-tier latency
+	// decomposition, critical-path verdict, slowest-trace exemplars) when
+	// the trial ran with tracing enabled. Nil otherwise, so untraced
+	// serializations stay byte-identical to historical output.
+	Trace *trace.Report `json:"trace,omitempty"`
 
 	// Replicas counts the independent repetitions aggregated into this
 	// result (1 = a single trial).

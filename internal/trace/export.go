@@ -1,0 +1,83 @@
+package trace
+
+import "encoding/json"
+
+// Chrome trace-event export: exemplar traces rendered in the Trace Event
+// Format that chrome://tracing and Perfetto load directly. Each exemplar
+// group (typically one trial) becomes one process row; each exemplar
+// becomes one thread holding the root request slice with its tier-hop
+// slices nested under it. Queue wait and service render as separate
+// slices so the wait/service split is visible on the timeline.
+
+// chromeEvent is one Trace Event Format entry. Only the fields the
+// "X" (complete) and "M" (metadata) phases need are present.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`            // microseconds
+	Dur   float64           `json:"dur,omitempty"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ExemplarGroup names a set of exemplars exported together, e.g. one
+// trial's capture labelled by its store key.
+type ExemplarGroup struct {
+	// Name labels the group's process row, e.g. "rubis/1-2-1/u=500/w=15%".
+	Name string
+	// Exemplars are the group's captured traces.
+	Exemplars []Exemplar
+}
+
+// ChromeJSON renders exemplar groups as a Chrome trace-event file. The
+// output is a deterministic function of the input: groups become pids in
+// slice order, exemplars become tids in slice order, and events are
+// emitted in that same order.
+func ChromeJSON(groups []ExemplarGroup) ([]byte, error) {
+	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pid, g := range groups {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]string{"name": g.Name},
+		})
+		for tid, ex := range g.Exemplars {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]string{"name": ex.Interaction},
+			})
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: ex.Interaction, Phase: "X",
+				TS: ex.IssuedSec * 1e6, Dur: ex.RTms * 1e3,
+				PID: pid, TID: tid,
+				Args: map[string]string{
+					"outcome":       ex.Outcome,
+					"critical_tier": ex.CriticalTier,
+				},
+			})
+			for _, s := range ex.Spans {
+				ts := s.StartSec * 1e6
+				if s.WaitMs > 0 {
+					f.TraceEvents = append(f.TraceEvents, chromeEvent{
+						Name: s.Tier + " wait (" + s.Station + ")", Phase: "X",
+						TS: ts, Dur: s.WaitMs * 1e3, PID: pid, TID: tid,
+					})
+				}
+				ev := chromeEvent{
+					Name: s.Tier + " service (" + s.Station + ")", Phase: "X",
+					TS: ts + s.WaitMs*1e3, Dur: s.ServiceMs * 1e3, PID: pid, TID: tid,
+				}
+				if s.Err {
+					ev.Args = map[string]string{"error": "rejected"}
+				}
+				f.TraceEvents = append(f.TraceEvents, ev)
+			}
+		}
+	}
+	return json.MarshalIndent(f, "", " ")
+}

@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AllClasses is the interaction-class label of decomposition rows that
+// aggregate every interaction.
+const AllClasses = "all"
+
+// DecompRow is one row of the per-tier latency-decomposition table: the
+// wait/service statistics of one tier for one interaction class. All
+// times are milliseconds.
+type DecompRow struct {
+	// Interaction is the interaction class, or AllClasses for the
+	// aggregate over every class.
+	Interaction string `json:"interaction"`
+	// Tier is the request-path tier ("web", "app", "db").
+	Tier string `json:"tier"`
+	// Count is the number of traced requests contributing.
+	Count int `json:"count"`
+
+	MeanWaitMs float64 `json:"mean_wait_ms"`
+	P95WaitMs  float64 `json:"p95_wait_ms"`
+	MeanSvcMs  float64 `json:"mean_svc_ms"`
+	P95SvcMs   float64 `json:"p95_svc_ms"`
+}
+
+// tierOrder ranks tiers in request-path order for stable row ordering.
+func tierOrder(tier string) int {
+	switch tier {
+	case TierWeb:
+		return 0
+	case TierApp:
+		return 1
+	case TierDB:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Decompose aggregates traces into the per-tier latency-decomposition
+// table: for every interaction class (plus the AllClasses aggregate) and
+// every tier, the mean and 95th-percentile queue-wait and service times
+// of that tier's contribution to the response. Rows are ordered by class
+// name (AllClasses first) then request-path tier order, so the table is
+// deterministic for a deterministic trace set.
+func Decompose(traces []*Trace) []DecompRow {
+	type cell struct{ waits, svcs []float64 }
+	cells := map[string]map[string]*cell{} // class → tier → samples
+	observe := func(class, tier string, c Contribution) {
+		byTier := cells[class]
+		if byTier == nil {
+			byTier = map[string]*cell{}
+			cells[class] = byTier
+		}
+		cl := byTier[tier]
+		if cl == nil {
+			cl = &cell{}
+			byTier[tier] = cl
+		}
+		cl.waits = append(cl.waits, c.WaitSec*1000)
+		cl.svcs = append(cl.svcs, c.ServiceSec*1000)
+	}
+	for _, t := range traces {
+		if len(t.Spans) == 0 {
+			continue
+		}
+		web, app, db := t.TierContributions()
+		for _, class := range []string{AllClasses, t.Interaction} {
+			observe(class, TierWeb, web)
+			observe(class, TierApp, app)
+			observe(class, TierDB, db)
+		}
+	}
+
+	classes := make([]string, 0, len(cells))
+	for class := range cells {
+		if class != AllClasses {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	if _, ok := cells[AllClasses]; ok {
+		classes = append([]string{AllClasses}, classes...)
+	}
+
+	var rows []DecompRow
+	for _, class := range classes {
+		byTier := cells[class]
+		tiers := make([]string, 0, len(byTier))
+		for tier := range byTier {
+			tiers = append(tiers, tier)
+		}
+		sort.Slice(tiers, func(i, j int) bool { return tierOrder(tiers[i]) < tierOrder(tiers[j]) })
+		for _, tier := range tiers {
+			cl := byTier[tier]
+			rows = append(rows, DecompRow{
+				Interaction: class, Tier: tier, Count: len(cl.waits),
+				MeanWaitMs: mean(cl.waits), P95WaitMs: percentile(cl.waits, 0.95),
+				MeanSvcMs: mean(cl.svcs), P95SvcMs: percentile(cl.svcs, 0.95),
+			})
+		}
+	}
+	return rows
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// percentile reports the q-quantile of xs by linear interpolation between
+// order statistics (the same estimator metrics.Sample uses). xs is sorted
+// in place.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	i := int(pos)
+	if i >= len(xs)-1 {
+		return xs[len(xs)-1]
+	}
+	frac := pos - float64(i)
+	return xs[i] + frac*(xs[i+1]-xs[i])
+}
+
+// Verdict is the trace-based bottleneck attribution: which tier the
+// critical paths of the traced requests point at, independently of any
+// utilization observation. It is the application-level cross-check of the
+// utilization-based bottleneck.Detect verdict.
+type Verdict struct {
+	// Tier is the tier attributed the most critical paths, or "none" when
+	// no trace carries spans.
+	Tier string `json:"tier"`
+	// Share is the fraction of traced requests whose critical path lies
+	// in Tier.
+	Share float64 `json:"share"`
+	// QueueShare is the fraction of Tier's attributed time spent queued
+	// rather than in service — near 1 means requests are waiting for the
+	// tier, the latency signature of saturation; near 0 means the tier is
+	// merely doing the most work.
+	QueueShare float64 `json:"queue_share"`
+	// Traces is the number of traced requests attributed.
+	Traces int `json:"traces"`
+	// Reason is a human-readable explanation for reports.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Attribute computes the trace-based bottleneck verdict: each traced
+// request's latency is attributed to its critical-path tier, and the
+// tier collecting the most attributions wins. QueueShare is computed
+// over the winning tier's contributions across all traces.
+func Attribute(traces []*Trace) Verdict {
+	counts := map[string]int{}
+	total := 0
+	var wait, svc [3]float64 // per-tier accumulated contribution
+	for _, t := range traces {
+		ct := t.CriticalTier()
+		if ct == "" {
+			continue
+		}
+		counts[ct]++
+		total++
+		web, app, db := t.TierContributions()
+		for i, c := range []Contribution{web, app, db} {
+			wait[i] += c.WaitSec
+			svc[i] += c.ServiceSec
+		}
+	}
+	if total == 0 {
+		return Verdict{Tier: "none", Reason: "no traced requests"}
+	}
+	best := "none"
+	for _, tier := range []string{TierWeb, TierApp, TierDB} {
+		if best == "none" || counts[tier] > counts[best] {
+			if counts[tier] > 0 {
+				best = tier
+			}
+		}
+	}
+	v := Verdict{
+		Tier:   best,
+		Share:  float64(counts[best]) / float64(total),
+		Traces: total,
+	}
+	i := tierOrder(best)
+	if tot := wait[i] + svc[i]; tot > 0 {
+		v.QueueShare = wait[i] / tot
+	}
+	v.Reason = fmt.Sprintf("%.0f%% of %d traced requests spend most time in the %s tier (%.0f%% of it queued)",
+		v.Share*100, total, best, v.QueueShare*100)
+	return v
+}
+
+// SpanRecord is the serialized form of one span inside an exemplar.
+type SpanRecord struct {
+	Tier      string  `json:"tier"`
+	Station   string  `json:"station"`
+	StartSec  float64 `json:"start_sec"`
+	WaitMs    float64 `json:"wait_ms"`
+	ServiceMs float64 `json:"service_ms"`
+	Err       bool    `json:"err,omitempty"`
+}
+
+// Exemplar is one captured trace persisted in the result store: the
+// slowest requests of a trial, kept in full span detail so a stored
+// result can explain its own tail latency.
+type Exemplar struct {
+	Interaction  string       `json:"interaction"`
+	Session      int          `json:"session"`
+	IssuedSec    float64      `json:"issued_sec"`
+	RTms         float64      `json:"rt_ms"`
+	Outcome      string       `json:"outcome"`
+	CriticalTier string       `json:"critical_tier"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// Exemplars captures the k slowest traces as serializable exemplars,
+// ordered slowest first. Ties break on issue time then session, so the
+// selection is deterministic.
+func Exemplars(traces []*Trace, k int) []Exemplar {
+	if k <= 0 || len(traces) == 0 {
+		return nil
+	}
+	idx := make([]int, len(traces))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := traces[idx[a]], traces[idx[b]]
+		if ta.RT != tb.RT {
+			return ta.RT > tb.RT
+		}
+		if ta.Issued != tb.Issued {
+			return ta.Issued < tb.Issued
+		}
+		return ta.Session < tb.Session
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Exemplar, 0, k)
+	for _, i := range idx[:k] {
+		t := traces[i]
+		ex := Exemplar{
+			Interaction:  t.Interaction,
+			Session:      t.Session,
+			IssuedSec:    t.Issued,
+			RTms:         t.RT * 1000,
+			Outcome:      t.Outcome,
+			CriticalTier: t.CriticalTier(),
+			Spans:        make([]SpanRecord, len(t.Spans)),
+		}
+		for j, s := range t.Spans {
+			ex.Spans[j] = SpanRecord{
+				Tier: s.Tier, Station: s.Station, StartSec: s.Start,
+				WaitMs: s.Wait * 1000, ServiceMs: s.Service * 1000, Err: s.Err,
+			}
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
+// Report is the per-trial trace analysis persisted in the result store:
+// sampling metadata, the latency-decomposition rows, the trace-based
+// bottleneck verdict, and the slowest-trace exemplars.
+type Report struct {
+	// Rate is the head-sampling probability the trial ran with.
+	Rate float64 `json:"rate"`
+	// Sampled is the number of committed traces.
+	Sampled int `json:"sampled"`
+	// Verdict is the critical-path bottleneck attribution.
+	Verdict Verdict `json:"verdict"`
+	// Rows is the per-tier latency decomposition per interaction class.
+	Rows []DecompRow `json:"rows,omitempty"`
+	// Exemplars are the slowest traces captured in full, slowest first.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// BuildReport analyzes a trial's collected traces into the persisted
+// report form, capturing at most k exemplars.
+func BuildReport(c *Collector, k int) *Report {
+	ts := c.Traces()
+	return &Report{
+		Rate:      c.Rate(),
+		Sampled:   len(ts),
+		Verdict:   Attribute(ts),
+		Rows:      Decompose(ts),
+		Exemplars: Exemplars(ts, k),
+	}
+}
