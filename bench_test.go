@@ -702,6 +702,54 @@ func BenchmarkStationPipeline(b *testing.B) {
 	k.Run(1e18)
 }
 
+// BenchmarkStationMultiResource drives the pooled multi-resource request
+// path: every request crosses the station's network link, its CPU, and
+// its disk in sequence. Steady state must stay allocation-free (the
+// resJob pool recycles the per-request leg state), which benchreg gates
+// via allocs/op.
+func BenchmarkStationMultiResource(b *testing.B) {
+	k := sim.NewKernel(1)
+	s := sim.NewStation(k, sim.StationConfig{Name: "S", Servers: 2, Speed: 1})
+	s.AttachDisk(sim.NewResource(k, "S/disk", 1))
+	s.AttachNet(sim.NewResource(k, "S/net", 1e6))
+	remaining := b.N
+	var feed func()
+	feed = func() {
+		s.SubmitRes(0.001, 0.0005, 200, func(bool, float64, float64) {
+			remaining--
+			if remaining > 0 {
+				feed()
+			}
+		})
+	}
+	b.ResetTimer()
+	feed()
+	k.Run(1e18)
+}
+
+// BenchmarkDiskBoundTrial runs a full trial of a demands-declaring
+// experiment: the DB disk is the contended resource. Covers the
+// spec→deployment→resource-attachment→monitor path end to end.
+func BenchmarkDiskBoundTrial(b *testing.B) {
+	c := mustCharacterizer(b)
+	doc, err := spec.Parse(`experiment "diskpipe" {
+		benchmark rubbos; platform emulab;
+		workload { users 300; writeratio 15; }
+		demands { db { disk 9ms; } }
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := doc.Experiments[0]
+	topo := spec.Topology{Web: 1, App: 1, DB: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Runner().RunTrialAt(e, topo, 300, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMarkovSession(b *testing.B) {
 	model, err := rubis.Bidding(rubis.JOnAS)
 	if err != nil {

@@ -45,6 +45,7 @@ func run(args []string) error {
 	traceRate := fs.Float64("trace", 0, "head-sample this fraction of measured requests into span traces (0 = off)")
 	traceExemplars := fs.Int("traceexemplars", 3, "slowest traces persisted in full per traced trial")
 	traceOut := fs.String("traceout", "", "write exemplar traces as Chrome trace-event JSON to this file (requires -trace)")
+	resources := fs.Bool("resources", false, "render the per-tier resource-utilization table per configuration")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
@@ -126,6 +127,26 @@ func run(args []string) error {
 		}
 	}
 
+	// Render the per-tier resource-utilization table for every sweep when
+	// asked: one table per (experiment, topology, write ratio).
+	if *resources {
+		for _, e := range doc.Experiments {
+			for _, topo := range c.Results().Topologies(e.Name) {
+				seen := map[float64]bool{}
+				for _, r := range c.Results().Filter(func(r store.Result) bool {
+					return r.Key.Experiment == e.Name && r.Key.Topology == topo
+				}) {
+					if seen[r.Key.WriteRatioPct] {
+						continue
+					}
+					seen[r.Key.WriteRatioPct] = true
+					fmt.Println()
+					fmt.Print(report.TableResourceUtilization(c.Results(), e.Name, topo, r.Key.WriteRatioPct))
+				}
+			}
+		}
+	}
+
 	// Render the trace tables for every experiment that ran with tracing,
 	// and optionally export the exemplars for chrome://tracing.
 	if *traceRate > 0 {
@@ -192,8 +213,12 @@ func runScaleout(c *core.Characterizer, doc *spec.Document, sloMS float64, maxUs
 			if !s.Completed {
 				rt = "failed"
 			}
+			bott := s.Verdict.Tier
+			if s.Verdict.Resource != "" && s.Verdict.Resource != "cpu" {
+				bott += "/" + s.Verdict.Resource
+			}
 			t.AddRow(fmt.Sprint(i+1), s.Topology.String(), fmt.Sprint(s.Users),
-				rt, s.Verdict.Tier, string(s.Action), s.Note)
+				rt, bott, string(s.Action), s.Note)
 		}
 		fmt.Print(t.String())
 	}

@@ -35,13 +35,41 @@ type Verdict struct {
 	// "none" when the system is unsaturated, or "sessions" when the
 	// failure is connection-pool exhaustion rather than CPU.
 	Tier string
-	// Utilization is the diagnosed tier's mean CPU percent.
+	// Resource names the contended resource behind the verdict: "cpu",
+	// "disk", or "net". Empty for failure verdicts (sessions, outage) and
+	// for trials with no utilization observations.
+	Resource string
+	// Utilization is the diagnosed tier's mean utilization percent on the
+	// diagnosed resource.
 	Utilization float64
 	// Saturated reports whether the tier crossed the saturation
 	// threshold.
 	Saturated bool
 	// Reason is a human-readable explanation for the report.
 	Reason string
+}
+
+// resourceLabel renders a resource name for verdict reasons. CPU keeps
+// its historical upper-case spelling so CPU-bound reasons stay
+// byte-identical to pre-multi-resource output.
+func resourceLabel(res string) string {
+	if res == "cpu" {
+		return "CPU"
+	}
+	return res
+}
+
+// resourceRank breaks utilization ties deterministically: the classic
+// CPU diagnosis wins over the newer resources at equal utilization.
+func resourceRank(res string) int {
+	switch res {
+	case "cpu":
+		return 0
+	case "disk":
+		return 1
+	default:
+		return 2
+	}
 }
 
 // Detect diagnoses the bottleneck from one trial's observations.
@@ -66,40 +94,53 @@ func Detect(r store.Result, th Thresholds) Verdict {
 			Reason: fmt.Sprintf("trial failed with %.1f%% errors: connection pool exhausted", r.ErrorRate()*100),
 		}
 	}
-	// Rank tiers by utilization, deterministically.
+	// Rank (tier, resource) candidates by utilization, deterministically.
+	// CPU is always observed; disk and network utilization exist only when
+	// the experiment declared demands on those resources.
 	type tierUtil struct {
 		tier string
+		res  string
 		util float64
 	}
 	var tiers []tierUtil
 	for tier, u := range r.TierCPU {
-		tiers = append(tiers, tierUtil{tier, u})
+		tiers = append(tiers, tierUtil{tier, "cpu", u})
+	}
+	for tier, u := range r.TierDisk {
+		tiers = append(tiers, tierUtil{tier, "disk", u})
+	}
+	for tier, u := range r.TierNet {
+		tiers = append(tiers, tierUtil{tier, "net", u})
 	}
 	sort.Slice(tiers, func(i, j int) bool {
 		if tiers[i].util != tiers[j].util {
 			return tiers[i].util > tiers[j].util
 		}
-		return tiers[i].tier < tiers[j].tier
+		if tiers[i].tier != tiers[j].tier {
+			return tiers[i].tier < tiers[j].tier
+		}
+		return resourceRank(tiers[i].res) < resourceRank(tiers[j].res)
 	})
 	if len(tiers) == 0 {
 		return Verdict{Tier: "none", Reason: "no utilization observations"}
 	}
 	top := tiers[0]
+	label := resourceLabel(top.res)
 	switch {
 	case top.util >= th.SaturationCPU:
 		return Verdict{
-			Tier: top.tier, Utilization: top.util, Saturated: true,
-			Reason: fmt.Sprintf("%s tier CPU at %.1f%% (saturated)", top.tier, top.util),
+			Tier: top.tier, Resource: top.res, Utilization: top.util, Saturated: true,
+			Reason: fmt.Sprintf("%s tier %s at %.1f%% (saturated)", top.tier, label, top.util),
 		}
 	case top.util >= th.NearSaturationCPU:
 		return Verdict{
-			Tier: top.tier, Utilization: top.util, Saturated: false,
-			Reason: fmt.Sprintf("%s tier CPU at %.1f%% (approaching saturation)", top.tier, top.util),
+			Tier: top.tier, Resource: top.res, Utilization: top.util, Saturated: false,
+			Reason: fmt.Sprintf("%s tier %s at %.1f%% (approaching saturation)", top.tier, label, top.util),
 		}
 	default:
 		return Verdict{
-			Tier: "none", Utilization: top.util,
-			Reason: fmt.Sprintf("highest tier CPU is %s at %.1f%%; system unsaturated", top.tier, top.util),
+			Tier: "none", Resource: top.res, Utilization: top.util,
+			Reason: fmt.Sprintf("highest tier %s is %s at %.1f%%; system unsaturated", label, top.tier, top.util),
 		}
 	}
 }

@@ -1,0 +1,171 @@
+package bottleneck
+
+import (
+	"testing"
+
+	"elba/internal/store"
+)
+
+// resResult builds a trial observation with per-resource tier utilization.
+func resResult(completed bool, errRate float64, cpu, disk, net map[string]float64) store.Result {
+	r := result(completed, errRate, cpu)
+	r.TierDisk = disk
+	r.TierNet = net
+	return r
+}
+
+// TestDetectResources drives the widened (tier, resource) verdict through
+// every bottleneck class: CPU-bound, disk-bound, net-bound, session
+// exhaustion, and an unsaturated system.
+func TestDetectResources(t *testing.T) {
+	cases := []struct {
+		name      string
+		r         store.Result
+		tier      string
+		resource  string
+		saturated bool
+		reason    string
+	}{
+		{
+			name:      "cpu-bound",
+			r:         resResult(true, 0, map[string]float64{"web": 10, "app": 96, "db": 40}, nil, nil),
+			tier:      "app",
+			resource:  "cpu",
+			saturated: true,
+			reason:    "app tier CPU at 96.0% (saturated)",
+		},
+		{
+			name: "disk-bound",
+			r: resResult(true, 0,
+				map[string]float64{"web": 5, "app": 30, "db": 20},
+				map[string]float64{"db": 91}, nil),
+			tier:      "db",
+			resource:  "disk",
+			saturated: true,
+			reason:    "db tier disk at 91.0% (saturated)",
+		},
+		{
+			name: "net-bound",
+			r: resResult(true, 0,
+				map[string]float64{"web": 40, "app": 30, "db": 20},
+				map[string]float64{"db": 35},
+				map[string]float64{"web": 93}),
+			tier:      "web",
+			resource:  "net",
+			saturated: true,
+			reason:    "web tier net at 93.0% (saturated)",
+		},
+		{
+			name: "disk-approaching",
+			r: resResult(true, 0,
+				map[string]float64{"db": 30},
+				map[string]float64{"db": 78}, nil),
+			tier:      "db",
+			resource:  "disk",
+			saturated: false,
+			reason:    "db tier disk at 78.0% (approaching saturation)",
+		},
+		{
+			name: "session-exhaustion",
+			r: resResult(false, 0.1,
+				map[string]float64{"app": 50},
+				map[string]float64{"db": 60}, nil),
+			tier:      "sessions",
+			resource:  "",
+			saturated: true,
+			reason:    "trial failed with 10.0% errors: connection pool exhausted",
+		},
+		{
+			name: "unsaturated",
+			r: resResult(true, 0,
+				map[string]float64{"web": 10, "app": 30, "db": 20},
+				map[string]float64{"db": 45}, nil),
+			tier:      "none",
+			resource:  "disk",
+			saturated: false,
+			reason:    "highest tier disk is db at 45.0%; system unsaturated",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Detect(tc.r, DefaultThresholds)
+			if v.Tier != tc.tier || v.Resource != tc.resource || v.Saturated != tc.saturated {
+				t.Fatalf("verdict = %+v, want tier=%q resource=%q saturated=%v",
+					v, tc.tier, tc.resource, tc.saturated)
+			}
+			if v.Reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", v.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestDetectCPUReasonsUnchanged pins the CPU-only reason strings to their
+// pre-multi-resource spelling, byte for byte: stored reports and scale-out
+// notes from old runs must stay reproducible.
+func TestDetectCPUReasonsUnchanged(t *testing.T) {
+	cases := []struct {
+		cpu    map[string]float64
+		reason string
+	}{
+		{map[string]float64{"web": 10, "app": 96, "db": 40}, "app tier CPU at 96.0% (saturated)"},
+		{map[string]float64{"web": 10, "app": 75, "db": 40}, "app tier CPU at 75.0% (approaching saturation)"},
+		{map[string]float64{"web": 10, "app": 30, "db": 20}, "highest tier CPU is app at 30.0%; system unsaturated"},
+	}
+	for _, tc := range cases {
+		v := Detect(result(true, 0, tc.cpu), DefaultThresholds)
+		if v.Reason != tc.reason {
+			t.Fatalf("reason = %q, want %q", v.Reason, tc.reason)
+		}
+	}
+}
+
+// TestDetectResourceTieBreak: at equal utilization on the same tier, the
+// classic CPU diagnosis wins, then disk, then net — deterministically.
+func TestDetectResourceTieBreak(t *testing.T) {
+	v := Detect(resResult(true, 0,
+		map[string]float64{"db": 90},
+		map[string]float64{"db": 90},
+		map[string]float64{"db": 90}), DefaultThresholds)
+	if v.Tier != "db" || v.Resource != "cpu" {
+		t.Fatalf("verdict = %+v, want db/cpu", v)
+	}
+	v = Detect(resResult(true, 0,
+		map[string]float64{"db": 50},
+		map[string]float64{"db": 90},
+		map[string]float64{"db": 90}), DefaultThresholds)
+	if v.Tier != "db" || v.Resource != "disk" {
+		t.Fatalf("verdict = %+v, want db/disk", v)
+	}
+}
+
+// TestDetectMigrationSequence replays the observation sequence the
+// scale-out loop must follow when the bottleneck migrates: the app tier's
+// CPU saturates first, an app server is added, and the next saturated
+// observation is the database disk — a different tier AND a different
+// resource, so the loop's next action flips from add-app-server to
+// add-db-server.
+func TestDetectMigrationSequence(t *testing.T) {
+	// Step 1: 1-1-1, app CPU is the wall.
+	v1 := Detect(resResult(true, 0,
+		map[string]float64{"web": 20, "app": 94, "db": 55},
+		map[string]float64{"db": 60}, nil), DefaultThresholds)
+	if v1.Tier != "app" || v1.Resource != "cpu" || !v1.Saturated {
+		t.Fatalf("step 1 verdict = %+v, want saturated app/cpu", v1)
+	}
+
+	// Step 2: 1-2-1 after adding an app server; app CPU halves, the load
+	// the extra server admits pushes the slow spindle over the edge.
+	v2 := Detect(resResult(true, 0,
+		map[string]float64{"web": 25, "app": 52, "db": 60},
+		map[string]float64{"db": 92}, nil), DefaultThresholds)
+	if v2.Tier != "db" || v2.Resource != "disk" || !v2.Saturated {
+		t.Fatalf("step 2 verdict = %+v, want saturated db/disk", v2)
+	}
+
+	// The tier sequence app → db is exactly what drives the loop's
+	// add-app-server → add-db-server action migration.
+	if v1.Tier == v2.Tier || v1.Resource == v2.Resource {
+		t.Fatalf("migration not distinguishable: %+v then %+v", v1, v2)
+	}
+}

@@ -23,6 +23,7 @@ class CIM_ComputerSystem : CIM_ManagedElement {
 	uint32 NetworkMbps;
 	uint32 DiskRPM;
 	uint32 DiskCacheMB = 8;
+	uint32 DiskMBps = 0;   // sustained transfer rate; 0 = unmeasured
 };
 
 // Elba_NodePool describes a homogeneous group of cluster nodes.
@@ -62,6 +63,7 @@ instance of Elba_NodePool {
 	MemoryMB = 1024;
 	NetworkMbps = 1000;
 	DiskRPM = 5400;
+	DiskMBps = 35;
 };
 
 instance of Elba_Platform {
@@ -79,6 +81,7 @@ instance of Elba_NodePool {
 	MemoryMB = 6144;
 	NetworkMbps = 1000;
 	DiskRPM = 10000;
+	DiskMBps = 70;
 };
 
 instance of Elba_Platform {
@@ -96,6 +99,7 @@ instance of Elba_NodePool {
 	MemoryMB = 256;
 	NetworkMbps = 100;
 	DiskRPM = 7200;
+	DiskMBps = 45;
 };
 instance of Elba_NodePool {
 	Name = "emulab-high";
@@ -107,6 +111,7 @@ instance of Elba_NodePool {
 	MemoryMB = 2048;
 	NetworkMbps = 1000;
 	DiskRPM = 10000;
+	DiskMBps = 70;
 };
 
 // ---- Software (Table 1) --------------------------------------------------
@@ -179,6 +184,7 @@ type NodePool struct {
 	MemoryMB    int
 	NetworkMbps int
 	DiskRPM     int
+	DiskMBps    int
 }
 
 // Platform is a typed view of an Elba_Platform instance with its pools.
@@ -233,6 +239,7 @@ func CatalogFromRepository(repo *Repository) (*Catalog, error) {
 			MemoryMB:    int(in.GetInt("MemoryMB")),
 			NetworkMbps: int(in.GetInt("NetworkMbps")),
 			DiskRPM:     int(in.GetInt("DiskRPM")),
+			DiskMBps:    int(in.GetInt("DiskMBps")),
 		}
 		if p.Name == "" || p.Platform == "" {
 			return nil, fmt.Errorf("cim: node pool at line %d missing Name/Platform", in.Line)

@@ -19,6 +19,11 @@ import (
 // are specified.
 const ReferenceMHz = 3000
 
+// ReferenceDiskMBps is the disk bandwidth at which disk service demands
+// are specified: the 10k RPM SCSI disks of the Rohan blades and the
+// Emulab high-end nodes, Table 2's fastest spindles.
+const ReferenceDiskMBps = 70
+
 // ServiceState tracks a deployed service's lifecycle on a node.
 type ServiceState int
 
@@ -124,6 +129,32 @@ func (n *Node) Degradation() float64 {
 // speed scaled by the node's degradation factor. For a healthy node it
 // equals Speed.
 func (n *Node) EffectiveSpeed() float64 { return n.Speed() * n.Degradation() }
+
+// DiskSpeed reports the node's rated disk bandwidth relative to the
+// reference spindle. Pools that declare no DiskMBps report 1 (a
+// reference-speed disk), so disk demands stay meaningful under
+// user-supplied catalogs that predate the property.
+func (n *Node) DiskSpeed() float64 {
+	if n.pool.DiskMBps <= 0 {
+		return 1
+	}
+	return float64(n.pool.DiskMBps) / ReferenceDiskMBps
+}
+
+// EffectiveDiskSpeed scales the rated disk speed by the node's
+// degradation factor — a degraded node drags its spindle down with its
+// CPU (thermal throttling and failing disks travel together in Table 2's
+// failure anecdotes).
+func (n *Node) EffectiveDiskSpeed() float64 { return n.DiskSpeed() * n.Degradation() }
+
+// NetBytesPerSec reports the node's link capacity in bytes per second,
+// or 0 when the pool declares no NetworkMbps.
+func (n *Node) NetBytesPerSec() float64 {
+	if n.pool.NetworkMbps <= 0 {
+		return 0
+	}
+	return float64(n.pool.NetworkMbps) * 1e6 / 8
+}
 
 // Degrade marks the node degraded with the given effective-speed factor
 // in (0, 1). Factors outside that range restore the node instead.

@@ -68,7 +68,7 @@ func runTransientTrialSeeded(e *spec.Experiment, d *mulini.Deployment, p *deploy
 		seed = mixRootSeed(seed, root, e.Name)
 	}
 	k := sim.NewKernel(seed)
-	nt, maxSessions, err := buildNTier(k, d, p)
+	nt, maxSessions, err := buildNTier(k, e, d, p)
 	if err != nil {
 		return nil, err
 	}

@@ -101,7 +101,7 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	}
 
 	k := sim.NewKernel(seed)
-	nt, maxSessions, err := buildNTier(k, d, p)
+	nt, maxSessions, err := buildNTier(k, e, d, p)
 	if err != nil {
 		return nil, err
 	}
@@ -231,20 +231,37 @@ func scheduleFault(k *sim.Kernel, driver *sim.Driver, stationOf map[string]*sim.
 }
 
 // buildNTier constructs the queueing network from the deployed placement
-// and reports the deployment's total session capacity.
-func buildNTier(k *sim.Kernel, d *mulini.Deployment, p *deploy.Placement) (*sim.NTier, int, error) {
+// and reports the deployment's total session capacity. Tiers whose spec
+// declares disk or network demands get per-node Resource queues sized
+// from the allocated hardware's Table-2 capacities; without demands the
+// stations are exactly the historical CPU-only ones.
+func buildNTier(k *sim.Kernel, e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement) (*sim.NTier, int, error) {
 	mkStations := func(tier string) ([]*sim.Station, error) {
+		td := e.Demands[tier]
 		var out []*sim.Station
 		for _, role := range d.Roles(tier) {
 			node, ok := p.Node(role)
 			if !ok {
 				return nil, fmt.Errorf("experiment: role %s has no allocated node", role)
 			}
-			out = append(out, sim.NewStation(k, sim.StationConfig{
+			st := sim.NewStation(k, sim.StationConfig{
 				Name:    role,
 				Servers: node.Cores(),
 				Speed:   node.EffectiveSpeed(),
-			}))
+			})
+			if td.DiskSec > 0 {
+				ds := node.EffectiveDiskSpeed()
+				if ds <= 0 {
+					ds = node.DiskSpeed()
+				}
+				st.AttachDisk(sim.NewResource(k, role+"/disk", ds))
+			}
+			if td.NetBytes > 0 {
+				if bps := node.NetBytesPerSec(); bps > 0 {
+					st.AttachNet(sim.NewResource(k, role+"/net", bps))
+				}
+			}
+			out = append(out, st)
 		}
 		return out, nil
 	}
@@ -282,6 +299,13 @@ func buildNTier(k *sim.Kernel, d *mulini.Deployment, p *deploy.Placement) (*sim.
 		App: sim.NewTier(k, "app", sim.RoundRobin, app),
 		DB:  sim.NewRAIDb(k, sim.RoundRobin, db),
 	}
+	conv := func(d spec.ResourceDemand) sim.TierDemand {
+		return sim.TierDemand{CPUScale: d.CPUScale, DiskSec: d.DiskSec, NetBytes: d.NetBytes}
+	}
+	nt.Demands = [3]sim.TierDemand{
+		conv(e.Demands["web"]), conv(e.Demands["app"]), conv(e.Demands["db"]),
+	}
+	nt.DB.Demand = nt.Demands[2]
 	return nt, maxSessions, nil
 }
 
@@ -334,6 +358,8 @@ func buildProbes(d *mulini.Deployment, p *deploy.Placement, nt *sim.NTier, model
 			if a.Tier == "db" {
 				probe.DiskOps = func() float64 { return float64(st.Completed()) * 1.6 }
 			}
+			probe.Disk = st.Disk()
+			probe.NetRes = st.Net()
 		}
 		probes = append(probes, probe)
 	}
@@ -384,9 +410,16 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 	res.InjectedErrors = driver.InjectedErrors()
 
 	// Per-host and per-tier CPU means over the run window, read from the
-	// monitor output exactly as the paper's analysis pipeline would.
+	// monitor output exactly as the paper's analysis pipeline would. Disk
+	// and network utilization work the same way but stay nil-mapped (and
+	// thus absent from stored output) unless the experiment declared
+	// demands on those resources.
 	tierSums := map[string]float64{}
 	tierCounts := map[string]int{}
+	// Allocated lazily: a CPU-only trial (no declared demands) must not
+	// allocate for resources it never observed.
+	var diskSums, netSums map[string]float64
+	var diskCounts, netCounts map[string]int
 	for _, a := range d.Assignments {
 		if stationOf[a.Role] == nil {
 			continue
@@ -402,9 +435,45 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 				tierCounts[a.Tier]++
 			}
 		}
+		if ts, ok := mon.Series(host, "disk-util"); ok {
+			if mean, ok := ts.MeanIn(runStart, runEnd); ok {
+				if res.HostDisk == nil {
+					res.HostDisk = map[string]float64{}
+					diskSums = map[string]float64{}
+					diskCounts = map[string]int{}
+				}
+				res.HostDisk[a.Role] = mean
+				diskSums[a.Tier] += mean
+				diskCounts[a.Tier]++
+			}
+		}
+		if ts, ok := mon.Series(host, "net-util"); ok {
+			if mean, ok := ts.MeanIn(runStart, runEnd); ok {
+				if res.HostNet == nil {
+					res.HostNet = map[string]float64{}
+					netSums = map[string]float64{}
+					netCounts = map[string]int{}
+				}
+				res.HostNet[a.Role] = mean
+				netSums[a.Tier] += mean
+				netCounts[a.Tier]++
+			}
+		}
 	}
 	for tier, sum := range tierSums {
 		res.TierCPU[tier] = sum / float64(tierCounts[tier])
+	}
+	for tier, sum := range diskSums {
+		if res.TierDisk == nil {
+			res.TierDisk = map[string]float64{}
+		}
+		res.TierDisk[tier] = sum / float64(diskCounts[tier])
+	}
+	for tier, sum := range netSums {
+		if res.TierNet == nil {
+			res.TierNet = map[string]float64{}
+		}
+		res.TierNet[tier] = sum / float64(netCounts[tier])
 	}
 
 	total := res.Requests + res.Errors

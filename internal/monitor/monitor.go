@@ -36,6 +36,13 @@ type Probe struct {
 	NetBytes func() float64
 	// DiskOps cumulatively counts disk operations (nil = none).
 	DiskOps func() float64
+	// Disk is the host's contended disk resource, when the experiment
+	// declares disk demands (nil = none). Its busy-time integral yields the
+	// %util column of the disk rows.
+	Disk *sim.Resource
+	// NetRes is the host's contended network link, when the experiment
+	// declares payload demands (nil = none).
+	NetRes *sim.Resource
 }
 
 // Config configures a monitoring session.
@@ -71,9 +78,14 @@ type probeState struct {
 	mem      *metrics.TimeSeries
 	net      *metrics.TimeSeries
 	disk     *metrics.TimeSeries
+	diskUtil *metrics.TimeSeries
+	netUtil  *metrics.TimeSeries
 	lastBusy float64
 	lastNet  float64
 	lastDisk float64
+	// previous busy-time readings of the contended disk/net resources
+	lastDiskBusy float64
+	lastNetBusy  float64
 }
 
 // New creates a monitor for the probes. Sampling begins at Start.
@@ -111,6 +123,12 @@ func New(k *sim.Kernel, cfg Config, probes []Probe) (*Monitor, error) {
 		}
 		if m.has("disk") && p.DiskOps != nil {
 			st.disk = m.seriesFor(p.Host, "disk")
+		}
+		if m.has("disk") && p.Disk != nil {
+			st.diskUtil = m.seriesFor(p.Host, "disk-util")
+		}
+		if m.has("network") && p.NetRes != nil {
+			st.netUtil = m.seriesFor(p.Host, "net-util")
 		}
 	}
 	return m, nil
@@ -151,6 +169,12 @@ func (m *Monitor) Start() {
 		}
 		if p.DiskOps != nil {
 			st.lastDisk = p.DiskOps()
+		}
+		if p.Disk != nil {
+			st.lastDiskBusy = p.Disk.BusyTime()
+		}
+		if p.NetRes != nil {
+			st.lastNetBusy = p.NetRes.BusyTime()
 		}
 	}
 	m.k.Schedule(m.cfg.IntervalSec, m.tick)
@@ -244,6 +268,38 @@ func (m *Monitor) sample(p *Probe, st *probeState, now float64) {
 		b = appendFixed(b, rate, 10, 1)
 		b = append(b, '\n')
 		st.disk.Append(now, rate)
+	}
+	if st.diskUtil != nil {
+		busy := p.Disk.BusyTime()
+		delta := busy - st.lastDiskBusy
+		st.lastDiskBusy = busy
+		util := delta / m.cfg.IntervalSec
+		if util > 1 {
+			util = 1
+		}
+		b = appendStamp(b, now)
+		b = append(b, ' ')
+		b = append(b, p.Host...)
+		b = append(b, " disk sda %util "...)
+		b = appendFixed(b, util*100, 6, 2)
+		b = append(b, '\n')
+		st.diskUtil.Append(now, util*100)
+	}
+	if st.netUtil != nil {
+		busy := p.NetRes.BusyTime()
+		delta := busy - st.lastNetBusy
+		st.lastNetBusy = busy
+		util := delta / m.cfg.IntervalSec
+		if util > 1 {
+			util = 1
+		}
+		b = appendStamp(b, now)
+		b = append(b, ' ')
+		b = append(b, p.Host...)
+		b = append(b, " net eth0 %util "...)
+		b = appendFixed(b, util*100, 6, 2)
+		b = append(b, '\n')
+		st.netUtil.Append(now, util*100)
 	}
 	if len(b) > 0 {
 		st.file.Write(b)

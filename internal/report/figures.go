@@ -367,6 +367,74 @@ func TableAvailability(st *store.Store, experiment string) string {
 	return t.String()
 }
 
+// TableResourceUtilization renders mean per-tier utilization of every
+// contended resource against the user sweep for one configuration: the
+// multi-resource generalization of Figure 8's CPU curves. A column
+// appears only when at least one trial observed that (tier, resource)
+// pair, so CPU-only experiments show the classic three columns.
+func TableResourceUtilization(st *store.Store, experiment, topology string, writeRatioPct float64) string {
+	rs := st.Filter(func(r store.Result) bool {
+		return r.Key.Experiment == experiment && r.Key.Topology == topology &&
+			r.Key.WriteRatioPct == writeRatioPct
+	})
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Key.Users < rs[j].Key.Users })
+
+	type col struct{ tier, res string }
+	var cols []col
+	have := map[col]bool{}
+	for _, tier := range []string{"web", "app", "db"} {
+		for _, res := range []string{"cpu", "disk", "net"} {
+			c := col{tier, res}
+			for _, r := range rs {
+				var m map[string]float64
+				switch res {
+				case "cpu":
+					m = r.TierCPU
+				case "disk":
+					m = r.TierDisk
+				default:
+					m = r.TierNet
+				}
+				if _, ok := m[tier]; ok {
+					have[c] = true
+					break
+				}
+			}
+			if have[c] {
+				cols = append(cols, c)
+			}
+		}
+	}
+
+	headers := []string{"Users"}
+	for _, c := range cols {
+		headers = append(headers, fmt.Sprintf("%s %s", c.tier, c.res))
+	}
+	t := NewTable(fmt.Sprintf("Per-tier resource utilization (%%) — %s %s at %g%% writes",
+		experiment, topology, writeRatioPct), headers...)
+	for _, r := range rs {
+		row := []string{fmt.Sprint(r.Key.Users)}
+		for _, c := range cols {
+			var m map[string]float64
+			switch c.res {
+			case "cpu":
+				m = r.TierCPU
+			case "disk":
+				m = r.TierDisk
+			default:
+				m = r.TierNet
+			}
+			if u, ok := m[c.tier]; ok {
+				row = append(row, fmt.Sprintf("%.1f", u))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
 // Table7Throughput renders the paper's Table 7: average throughput per
 // configuration and load, with failed trials as blank cells.
 func Table7Throughput(st *store.Store, experiment string, writeRatioPct float64, topologies []string, loads []int) string {

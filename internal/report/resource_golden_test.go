@@ -1,0 +1,65 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elba/internal/store"
+)
+
+// resourceStore extends the synthetic golden set with per-tier disk and
+// network utilization — the shape a demands-declaring experiment stores.
+func resourceStore() *store.Store {
+	st := store.New()
+	for _, users := range []int{100, 200, 300, 400} {
+		load := float64(users)
+		st.Put(store.Result{
+			Key: store.Key{
+				Experiment: "disk-set", Topology: "1-1-1",
+				Users: users, WriteRatioPct: 15,
+			},
+			Completed:  true,
+			AvgRTms:    12 + load/3,
+			Throughput: load / (1 + load/500),
+			Requests:   int64(users * 60),
+			TierCPU: map[string]float64{
+				"web": 2 + load/100, "app": 5 + load/40, "db": 4 + load/50,
+			},
+			TierDisk:   map[string]float64{"db": 20 + load/5},
+			TierNet:    map[string]float64{"web": 3 + load/80},
+			RunSeconds: 600,
+		})
+	}
+	return st
+}
+
+// TestGoldenResourceTable locks the per-tier resource-utilization table:
+// the multi-resource rendering over a fixed store must reproduce the
+// committed file byte-for-byte, and a CPU-only store must keep the
+// classic three-column shape.
+func TestGoldenResourceTable(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(TableResourceUtilization(resourceStore(), "disk-set", "1-1-1", 15))
+	b.WriteString("\n")
+	// CPU-only store: no disk/net columns appear.
+	b.WriteString(TableResourceUtilization(goldenStore(), "golden-set", "1-2-1", 25))
+
+	got := b.String()
+	golden := filepath.Join("testdata", "resource_table.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("resource table drifted from golden.\nIf intentional, regenerate with:\n  go test ./internal/report -run TestGoldenResourceTable -update\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}

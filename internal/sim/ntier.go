@@ -27,10 +27,33 @@ type NTier struct {
 	// request. The affinity ablation compares both modes.
 	StickyApp bool
 
+	// Demands carries each tier's optional per-request demands on the
+	// node's contended resources, indexed web=0, app=1, db=2. A zero
+	// value (the default) routes requests exactly as the CPU-only model
+	// always has. The DB entry applies to reads; broadcast writes read
+	// RAIDb.Demand, which the builder sets to the same value.
+	Demands [3]TierDemand
+
 	// pool recycles per-request routing state so steady-state traffic
 	// allocates nothing while traversing the tiers.
 	pool []*call
 }
+
+// TierDemand is one tier's per-request demand on its node's contended
+// resources beyond the benchmark's CPU demand.
+type TierDemand struct {
+	// CPUScale multiplies the interaction's CPU demand (0 = unchanged).
+	CPUScale float64
+	// DiskSec is seconds of disk service per request at the reference
+	// disk (0 = no disk leg).
+	DiskSec float64
+	// NetBytes is the payload carried into the tier per request over its
+	// ingress link (0 = no network leg).
+	NetBytes float64
+}
+
+// zero reports whether the demand adds nothing beyond CPU.
+func (d TierDemand) zero() bool { return d.CPUScale == 0 && d.DiskSec == 0 && d.NetBytes == 0 }
 
 // Outcome reports how a request ended.
 type Outcome int
@@ -94,13 +117,24 @@ type call struct {
 }
 
 // dispatch submits the job to st, noting the hop for span attribution
-// when the request is traced.
-func (c *call) dispatch(st *Station, demand float64) {
+// when the request is traced. tier indexes NTier.Demands; when that tier
+// declares no extra resource demands the request takes the exact
+// historical CPU-only path.
+func (c *call) dispatch(st *Station, demand float64, tier int) {
 	if c.tr != nil {
 		c.hopStation = st.name
 		c.hopStart = st.k.Now()
 	}
-	st.submit(demand, c)
+	d := &c.nt.Demands[tier]
+	if d.zero() {
+		st.submit(demand, c)
+		return
+	}
+	cpu := demand
+	if d.CPUScale > 0 {
+		cpu = demand * d.CPUScale
+	}
+	st.submitRes(cpu, d.DiskSec, d.NetBytes, c)
 }
 
 func (c *call) jobFinished(ok bool, wait, service float64) {
@@ -115,9 +149,9 @@ func (c *call) jobFinished(ok bool, wait, service float64) {
 		}
 		c.stage = 1
 		if c.nt.StickyApp && c.session >= 0 {
-			c.dispatch(c.nt.App.pinned(c.session), c.appDemand)
+			c.dispatch(c.nt.App.pinned(c.session), c.appDemand, 1)
 		} else {
-			c.dispatch(c.nt.App.pick(), c.appDemand)
+			c.dispatch(c.nt.App.pick(), c.appDemand, 1)
 		}
 	case 1: // app tier finished
 		if c.tr != nil {
@@ -133,7 +167,7 @@ func (c *call) jobFinished(ok bool, wait, service float64) {
 			// record them, so the aggregated completion below must not.
 			c.nt.DB.writeJobTraced(c.dbDemand, c, c.tr)
 		} else {
-			c.dispatch(c.nt.DB.pickRead(), c.dbDemand)
+			c.dispatch(c.nt.DB.pickRead(), c.dbDemand, 2)
 		}
 	default: // database finished
 		if c.tr != nil && !c.write {
@@ -193,7 +227,7 @@ func (nt *NTier) serveSession(session int, it Interaction, done outcomeDone, tr 
 	c.appDemand = it.AppDemand
 	c.dbDemand = it.DBDemand
 	c.tr = tr
-	c.dispatch(nt.Web.pick(), it.WebDemand)
+	c.dispatch(nt.Web.pick(), it.WebDemand, 0)
 }
 
 // ResetAccounting resets counters on all tiers.

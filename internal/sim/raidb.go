@@ -20,6 +20,12 @@ type RAIDb struct {
 	replicas []*Station
 	policy   BalancerPolicy
 	next     int
+	// Demand carries the DB tier's optional per-request resource demands.
+	// Broadcast writes charge every replica's disk and ingress link
+	// individually: the controller ships the statement to each replica,
+	// and each replica applies it to its own spindle. A zero value keeps
+	// the historical CPU-only write path.
+	Demand TierDemand
 	// wpool recycles write-broadcast trackers so a broadcast write costs
 	// no allocation on the simulation hot path.
 	wpool []*writeCall
@@ -118,9 +124,26 @@ func (r *RAIDb) writeJob(demand float64, done jobDone) {
 	w.remaining = len(r.replicas)
 	w.allOK = true
 	w.maxWait, w.maxSvc = 0, 0
-	for _, rep := range r.replicas {
-		rep.submit(demand, w)
+	if r.Demand.zero() {
+		for _, rep := range r.replicas {
+			rep.submit(demand, w)
+		}
+		return
 	}
+	cpu, disk, net := r.writeDemands(demand)
+	for _, rep := range r.replicas {
+		rep.submitRes(cpu, disk, net, w)
+	}
+}
+
+// writeDemands resolves one broadcast write's per-replica resource legs
+// from the tier demand declaration.
+func (r *RAIDb) writeDemands(demand float64) (cpu, disk, net float64) {
+	cpu = demand
+	if r.Demand.CPUScale > 0 {
+		cpu = demand * r.Demand.CPUScale
+	}
+	return cpu, r.Demand.DiskSec, r.Demand.NetBytes
 }
 
 // writeLeg observes one replica's share of a traced broadcast write: it
@@ -164,6 +187,11 @@ func (r *RAIDb) writeJobTraced(demand float64, done jobDone, tr *trace.Trace) {
 	w.allOK = true
 	w.maxWait, w.maxSvc = 0, 0
 	now := r.k.Now()
+	plain := r.Demand.zero()
+	var cpu, disk, net float64
+	if !plain {
+		cpu, disk, net = r.writeDemands(demand)
+	}
 	for _, rep := range r.replicas {
 		var l *writeLeg
 		if n := len(r.lpool); n > 0 {
@@ -173,7 +201,11 @@ func (r *RAIDb) writeJobTraced(demand float64, done jobDone, tr *trace.Trace) {
 			l = &writeLeg{}
 		}
 		l.w, l.tr, l.station, l.start = w, tr, rep.name, now
-		rep.submit(demand, l)
+		if plain {
+			rep.submit(demand, l)
+		} else {
+			rep.submitRes(cpu, disk, net, l)
+		}
 	}
 }
 

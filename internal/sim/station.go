@@ -52,6 +52,13 @@ type Station struct {
 	slots []svcSlot
 	free  []int32
 
+	// disk and net are the node's optional contended devices; requests
+	// with disk/net demands queue on them around CPU service (see
+	// submitRes). rpool recycles the multi-leg job trackers.
+	disk  *Resource
+	net   *Resource
+	rpool []*resJob
+
 	// accounting
 	busyTime   float64 // integral of busy servers over time, in server-seconds
 	lastChange float64
@@ -271,4 +278,10 @@ func (s *Station) ResetAccounting() {
 	s.completed = 0
 	s.rejected = 0
 	s.queuedPeak = s.queued()
+	if s.disk != nil {
+		s.disk.ResetAccounting()
+	}
+	if s.net != nil {
+		s.net.ResetAccounting()
+	}
 }

@@ -10,6 +10,7 @@ package spec
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -63,6 +64,13 @@ func (r Range) String() string {
 func trimFloat(f float64) string {
 	s := fmt.Sprintf("%g", f)
 	return s
+}
+
+// trimFixed renders f in shortest fixed-decimal notation. Unlike %g it
+// never switches to exponent form, which the TBL lexer cannot tokenize —
+// demand values round-trip through Parse exactly.
+func trimFixed(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
 }
 
 // Topology is the paper's w-a-d triple: replica counts per tier.
@@ -144,6 +152,26 @@ type Fault struct {
 	DurationSec float64
 }
 
+// ResourceDemand declares one tier's per-request demands on its node's
+// contended resources beyond the benchmark's calibrated CPU demand — the
+// knobs that let a spec reproduce the paper's disk- and network-bound
+// knees on the low-end platforms.
+type ResourceDemand struct {
+	// CPUScale multiplies the benchmark's CPU demand (0 = unchanged).
+	CPUScale float64
+	// DiskSec is seconds of disk service per request at the reference
+	// spindle (0 = no disk demand).
+	DiskSec float64
+	// NetBytes is the payload carried into the tier per request over its
+	// ingress link, in bytes (0 = no network demand).
+	NetBytes float64
+}
+
+// Zero reports whether the demand declares nothing.
+func (d ResourceDemand) Zero() bool {
+	return d.CPUScale == 0 && d.DiskSec == 0 && d.NetBytes == 0
+}
+
 // Experiment is one TBL experiment block.
 type Experiment struct {
 	// Name identifies the experiment set, e.g. "rubis-baseline-jonas".
@@ -169,6 +197,9 @@ type Experiment struct {
 	// Allocate maps tier name → node type for platforms with
 	// heterogeneous pools (Emulab's low-end/high-end).
 	Allocate map[string]string
+	// Demands maps tier name → per-request resource demands (disk,
+	// network, CPU scaling). Absent tiers keep the CPU-only model.
+	Demands map[string]ResourceDemand
 	// Faults schedules fault windows within every trial.
 	Faults []Fault
 	// FaultProfile names a built-in random fault profile ("none", "light",
@@ -253,6 +284,29 @@ func (e *Experiment) String() string {
 			if nt, ok := e.Allocate[tier]; ok {
 				fmt.Fprintf(&b, " %s %s;", tier, nt)
 			}
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	if len(e.Demands) > 0 {
+		fmt.Fprintf(&b, "\tdemands {")
+		for _, tier := range []string{"web", "app", "db"} {
+			d, ok := e.Demands[tier]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, " %s {", tier)
+			if d.CPUScale > 0 {
+				fmt.Fprintf(&b, " cpu %s;", trimFixed(d.CPUScale))
+			}
+			if d.DiskSec > 0 {
+				// Rendered in seconds: the unit multiplier is exactly 1, so
+				// the rendering re-parses to the identical float (fixpoint).
+				fmt.Fprintf(&b, " disk %ss;", trimFixed(d.DiskSec))
+			}
+			if d.NetBytes > 0 {
+				fmt.Fprintf(&b, " net %s;", trimFixed(d.NetBytes))
+			}
+			fmt.Fprintf(&b, " }")
 		}
 		fmt.Fprintf(&b, " }\n")
 	}

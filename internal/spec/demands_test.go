@@ -1,0 +1,150 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDemands(t *testing.T) {
+	src := `experiment "d" {
+	benchmark rubis;
+	platform  emulab;
+	workload  { users 100; writeratio 15; }
+	demands {
+		app { cpu 1.5; net 2048; }
+		db  { disk 9ms; net 600; }
+	}
+}`
+	e := parseOne(t, src)
+	app, ok := e.Demands["app"]
+	if !ok || app.CPUScale != 1.5 || app.NetBytes != 2048 || app.DiskSec != 0 {
+		t.Fatalf("app demands = %+v", app)
+	}
+	db, ok := e.Demands["db"]
+	if !ok || db.DiskSec != 0.009 || db.NetBytes != 600 || db.CPUScale != 0 {
+		t.Fatalf("db demands = %+v", db)
+	}
+	if _, ok := e.Demands["web"]; ok {
+		t.Fatalf("web demands should be absent")
+	}
+}
+
+func TestParseDemandsSecondsUnit(t *testing.T) {
+	e := parseOne(t, `experiment "d" {
+	benchmark rubis; platform emulab;
+	workload { users 1; }
+	demands { db { disk 0.5s; } }
+}`)
+	if e.Demands["db"].DiskSec != 0.5 {
+		t.Fatalf("disk = %g, want 0.5", e.Demands["db"].DiskSec)
+	}
+}
+
+func TestParseDemandsErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown tier",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { cache { cpu 1; } } }`,
+			"unknown tier"},
+		{"unknown key",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { iops 9; } } }`,
+			"unknown demand"},
+		{"negative cpu",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { cpu -1; } } }`,
+			"line"},
+		{"negative disk",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { disk -9ms; } } }`,
+			"line"},
+		{"overflow number",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { net ` + strings.Repeat("9", 400) + `; } } }`,
+			"line"},
+		{"disk past bound",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { disk 61s; } } }`,
+			"out of range"},
+		{"net past bound",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { net 2000000000; } } }`,
+			"out of range"},
+		{"cpu past bound",
+			`experiment "x" { benchmark rubis; platform emulab; workload { users 1; }
+			demands { db { cpu 1001; } } }`,
+			"out of range"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseDemandsErrorNamesLine(t *testing.T) {
+	src := "experiment \"x\" {\n\tbenchmark rubis;\n\tplatform emulab;\n\tworkload { users 1; }\n\tdemands { db { disk -1ms; } }\n}"
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error should name line 5: %v", err)
+	}
+}
+
+func TestDemandsRoundTrip(t *testing.T) {
+	src := `experiment "d" {
+	benchmark rubis;
+	platform  emulab;
+	workload  { users 100; writeratio 15; }
+	demands {
+		web { net 1500; }
+		app { cpu 2; }
+		db  { cpu 0.5; disk 9ms; net 600; }
+	}
+}`
+	e := parseOne(t, src)
+	rendered := e.String()
+	re := parseOne(t, rendered)
+	if len(re.Demands) != 3 {
+		t.Fatalf("demands did not round trip: %+v\n%s", re.Demands, rendered)
+	}
+	for tier, d := range e.Demands {
+		if re.Demands[tier] != d {
+			t.Fatalf("%s demands changed: %+v -> %+v", tier, d, re.Demands[tier])
+		}
+	}
+	if again := re.String(); again != rendered {
+		t.Fatalf("String() not a fixpoint:\n%s\n---\n%s", rendered, again)
+	}
+}
+
+func TestValidateDemandsProgrammatic(t *testing.T) {
+	mk := func(d ResourceDemand) *Experiment {
+		e := parseOne(t, `experiment "v" { benchmark rubis; platform emulab; workload { users 1; } }`)
+		e.Demands = map[string]ResourceDemand{"db": d}
+		return e
+	}
+	if err := Validate(mk(ResourceDemand{CPUScale: 1, DiskSec: 0.009, NetBytes: 600})); err != nil {
+		t.Fatalf("valid demands rejected: %v", err)
+	}
+	bad := []ResourceDemand{
+		{CPUScale: -1},
+		{DiskSec: -0.001},
+		{NetBytes: -1},
+		{DiskSec: 61},
+		{NetBytes: 2e9},
+	}
+	for _, d := range bad {
+		if err := Validate(mk(d)); err == nil {
+			t.Errorf("demands %+v accepted", d)
+		}
+	}
+}

@@ -29,6 +29,9 @@ func FuzzParseTBL(f *testing.F) {
 	f.Add(`experiment "x" { benchmark rubis; platform emulab;
 		workload { users 1 to 10 step 1; writeratio 5; }
 		faults { profile light; client errorburst 0.5 at 10s for 10s; } }`)
+	f.Add(`experiment "y" { benchmark rubbos; platform emulab;
+		workload { users 100; writeratio 15; }
+		demands { web { net 1500; } app { cpu 1.5; } db { cpu 0.5; disk 9ms; net 600; } } }`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		doc, err := Parse(src)

@@ -170,13 +170,16 @@ func (p *parser) duration() (float64, error) {
 		return 0, p.errf("expected duration, found %q", p.tok.text)
 	}
 	text := p.tok.text
-	var mult float64
+	var div float64
 	var digits string
 	switch {
 	case strings.HasSuffix(text, "ms"):
-		mult, digits = 1e-3, strings.TrimSuffix(text, "ms")
+		// Divide rather than multiply by an inexact 1e-3: division rounds
+		// correctly, so 9ms parses to the double nearest 0.009 and renders
+		// back without float dust.
+		div, digits = 1e3, strings.TrimSuffix(text, "ms")
 	case strings.HasSuffix(text, "s"):
-		mult, digits = 1, strings.TrimSuffix(text, "s")
+		div, digits = 1, strings.TrimSuffix(text, "s")
 	default:
 		return 0, p.errf("duration %q needs an s or ms unit", text)
 	}
@@ -184,7 +187,7 @@ func (p *parser) duration() (float64, error) {
 	if err != nil {
 		return 0, p.errf("invalid duration %q", text)
 	}
-	return v * mult, p.advance()
+	return v / div, p.advance()
 }
 
 // millis parses a duration and returns milliseconds.
@@ -355,6 +358,8 @@ func (p *parser) parseClause(e *Experiment, key string) error {
 		return p.parseMonitor(e)
 	case "allocate":
 		return p.parseAllocate(e)
+	case "demands":
+		return p.parseDemands(e)
 	case "faults":
 		return p.parseFaults(e)
 	case "seed":
@@ -678,6 +683,72 @@ func (p *parser) parseFaults(e *Experiment) error {
 		if err := p.expectPunct(";"); err != nil {
 			return err
 		}
+	}
+	return p.advance()
+}
+
+// parseDemands reads the per-tier resource-demand stanza:
+//
+//	demands {
+//		db  { cpu 1.5; disk 9ms; net 2000; }   # scale CPU, add disk+net legs
+//		app { net 4000; }                      # bytes into the app tier
+//	}
+//
+// cpu is a bare multiplier on the benchmark's calibrated CPU demand,
+// disk a duration at the reference spindle (s/ms unit required), net a
+// bare payload size in bytes. Negative values cannot lex (the '-' is a
+// parse error) and oversized literals fail number parsing, so every
+// malformed demand is rejected with a positioned error.
+func (p *parser) parseDemands(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		tier, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch tier {
+		case "web", "app", "db":
+		default:
+			return p.errf("demands names unknown tier %q", tier)
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return err
+		}
+		var d ResourceDemand
+		for !(p.tok.kind == tPunct && p.tok.text == "}") {
+			key, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			switch key {
+			case "cpu":
+				if d.CPUScale, err = p.number(); err != nil {
+					return err
+				}
+			case "disk":
+				if d.DiskSec, err = p.duration(); err != nil {
+					return err
+				}
+			case "net":
+				if d.NetBytes, err = p.number(); err != nil {
+					return err
+				}
+			default:
+				return p.errf("unknown demand key %q", key)
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		}
+		if err := p.advance(); err != nil { // consume inner "}"
+			return err
+		}
+		if e.Demands == nil {
+			e.Demands = map[string]ResourceDemand{}
+		}
+		e.Demands[tier] = d
 	}
 	return p.advance()
 }

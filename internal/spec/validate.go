@@ -152,6 +152,31 @@ func Validate(e *Experiment) error {
 			return fmt.Errorf("tbl: experiment %q: allocate names unknown tier %q", e.Name, tier)
 		}
 	}
+	for tier, d := range e.Demands {
+		switch tier {
+		case "web", "app", "db":
+		default:
+			return fmt.Errorf("tbl: experiment %q: demands names unknown tier %q", e.Name, tier)
+		}
+		bad := func(field string, v float64) error {
+			return fmt.Errorf("tbl: experiment %q: %s tier %s demand %g out of range",
+				e.Name, tier, field, v)
+		}
+		// Bounds reject nonsense (negative, NaN, Inf — possible only for
+		// programmatically built experiments; the parser cannot produce
+		// them) and keep declared demands physically plausible: CPU scaled
+		// by at most 1000×, a disk op within a minute at the reference
+		// spindle, a payload within a gigabyte.
+		if !(d.CPUScale >= 0 && d.CPUScale <= 1000) {
+			return bad("cpu", d.CPUScale)
+		}
+		if !(d.DiskSec >= 0 && d.DiskSec <= 60) {
+			return bad("disk", d.DiskSec)
+		}
+		if !(d.NetBytes >= 0 && d.NetBytes <= 1e9) {
+			return bad("net", d.NetBytes)
+		}
+	}
 	// Repeat 0 means "unset" for programmatically built experiments and
 	// is treated as 1 by the runner.
 	if e.Repeat < 0 || e.Repeat > 100 {

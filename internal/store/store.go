@@ -63,6 +63,16 @@ type Result struct {
 	// HostCPU maps role → mean CPU utilization percent.
 	HostCPU map[string]float64 `json:"host_cpu,omitempty"`
 
+	// TierDisk and TierNet map tier name → mean disk / network-link
+	// utilization percent. Populated only when the experiment declares
+	// demands on those resources, so historical serializations stay
+	// byte-identical.
+	TierDisk map[string]float64 `json:"tier_disk,omitempty"`
+	TierNet  map[string]float64 `json:"tier_net,omitempty"`
+	// HostDisk and HostNet are the per-role equivalents.
+	HostDisk map[string]float64 `json:"host_disk,omitempty"`
+	HostNet  map[string]float64 `json:"host_net,omitempty"`
+
 	// CollectedBytes sizes the monitoring data gathered for this trial.
 	CollectedBytes int `json:"collected_bytes"`
 	// RunSeconds is the measured run-period length.
@@ -254,6 +264,12 @@ func (s *Store) ThroughputVsUsers(experiment, topology string, writeRatioPct flo
 // (Figure 8's DB curves).
 func (s *Store) TierCPUVsUsers(experiment, topology, tier string, writeRatioPct float64) []SeriesPoint {
 	return s.extract(experiment, topology, writeRatioPct, func(r Result) float64 { return r.TierCPU[tier] })
+}
+
+// TierDiskVsUsers extracts a tier's mean disk utilization against users,
+// the disk-bound analogue of the Figure 8 curves.
+func (s *Store) TierDiskVsUsers(experiment, topology, tier string, writeRatioPct float64) []SeriesPoint {
+	return s.extract(experiment, topology, writeRatioPct, func(r Result) float64 { return r.TierDisk[tier] })
 }
 
 func (s *Store) extract(experiment, topology string, wr float64, y func(Result) float64) []SeriesPoint {
