@@ -13,6 +13,7 @@ package elba
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"testing"
 
 	"elba/internal/bench/rubis"
@@ -1060,4 +1061,48 @@ func BenchmarkExtensionRohanCrossPlatform(b *testing.B) {
 	}
 	b.ReportMetric(emulabCPU, "emulab-db-cpu-pct")
 	b.ReportMetric(rohanCPU, "rohan-db-cpu-pct")
+}
+
+// ---------------------------------------------------------------------
+// PR 6: fluid-engine scalability.
+// ---------------------------------------------------------------------
+
+// BenchmarkFluidKneeSearchMillionUsers locates the SLO knee of the
+// shipped RUBBoS baseline with a one-million-user upper bracket, every
+// trial running on the aggregated fluid engine. The point of the fluid
+// approximation is exactly this: trial cost independent of population,
+// so a knee search over six orders of magnitude of users finishes in
+// seconds where per-session DES trials would take hours.
+func BenchmarkFluidKneeSearchMillionUsers(b *testing.B) {
+	data, err := os.ReadFile("specs/rubbos-baseline.tbl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := spec.Parse(string(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := doc.Experiments[0] // rubbos-readonly
+	var knee, trials int
+	for i := 0; i < b.N; i++ {
+		c, err := New(Options{TimeScale: benchScale, ScalingEngine: "fluid"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := c.Runner().KneeSearch(e, spec.Topology{Web: 1, App: 1, DB: 1},
+			0, 1000, 500, 1_000_000, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		knee, trials = res.Users, res.Trials
+		if knee < 500 || knee >= 1_000_000 {
+			b.Fatalf("knee %d outside the bracket", knee)
+		}
+		// O(log n): anchors plus one probe per halving of a ~1M bracket.
+		if trials > 14 {
+			b.Fatalf("search spent %d trials, want <= 14", trials)
+		}
+	}
+	b.ReportMetric(float64(knee), "knee-users")
+	b.ReportMetric(float64(trials), "trials")
 }

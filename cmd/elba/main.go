@@ -46,11 +46,21 @@ func run(args []string) error {
 	traceExemplars := fs.Int("traceexemplars", 3, "slowest traces persisted in full per traced trial")
 	traceOut := fs.String("traceout", "", "write exemplar traces as Chrome trace-event JSON to this file (requires -trace)")
 	resources := fs.Bool("resources", false, "render the per-tier resource-utilization table per configuration")
+	scaling := fs.String("scaling", "", "override the trial engine: des, fluid, or auto (empty = per-spec scaling clause)")
+	scalingThreshold := fs.Int("scalingthreshold", 0, "population at which -scaling auto switches to the fluid engine")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *scaling {
+	case "", "des", "fluid", "auto":
+	default:
+		return fmt.Errorf("-scaling must be des, fluid, or auto (got %q)", *scaling)
+	}
+	if *scalingThreshold < 0 {
+		return fmt.Errorf("-scalingthreshold must be non-negative")
 	}
 
 	var src string
@@ -70,14 +80,16 @@ func run(args []string) error {
 	}
 
 	c, err := core.New(core.Options{
-		TimeScale:      *timescale,
-		Parallel:       *parallel,
-		TrialParallel:  *trialParallel,
-		Seed:           *seed,
-		FaultProfile:   *faults,
-		TrialRetries:   *trialRetries,
-		TraceRate:      *traceRate,
-		TraceExemplars: *traceExemplars,
+		TimeScale:        *timescale,
+		Parallel:         *parallel,
+		TrialParallel:    *trialParallel,
+		Seed:             *seed,
+		FaultProfile:     *faults,
+		TrialRetries:     *trialRetries,
+		TraceRate:        *traceRate,
+		TraceExemplars:   *traceExemplars,
+		ScalingEngine:    *scaling,
+		ScalingThreshold: *scalingThreshold,
 		OnTrial: func(r store.Result) {
 			status := "ok"
 			if !r.Completed {
@@ -124,6 +136,19 @@ func run(args []string) error {
 		if len(faulted) > 0 {
 			fmt.Println()
 			fmt.Print(report.TableAvailability(c.Results(), e.Name))
+		}
+	}
+
+	// Render the engine-provenance table for every experiment with at
+	// least one trial handled by a non-default engine (via -scaling or the
+	// spec's own scaling clause).
+	for _, e := range doc.Experiments {
+		tagged := c.Results().Filter(func(r store.Result) bool {
+			return r.Key.Experiment == e.Name && r.Engine != ""
+		})
+		if len(tagged) > 0 {
+			fmt.Println()
+			fmt.Print(report.TableEngineSummary(c.Results(), e.Name))
 		}
 	}
 

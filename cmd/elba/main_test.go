@@ -62,9 +62,79 @@ func TestRunScaleoutMode(t *testing.T) {
 	}
 }
 
+// TestRunScalingFlag forces the fluid engine from the command line and
+// checks the exported results carry the engine tag.
+func TestRunScalingFlag(t *testing.T) {
+	spec := writeSpec(t, `experiment "cli-fluid" {
+		benchmark rubis; platform emulab; appserver jonas;
+		workload { users 60 to 120 step 60; writeratio 15; }
+	}`)
+	jsonPath := filepath.Join(t.TempDir(), "r.json")
+	err := run([]string{"-timescale", "0.05", "-scaling", "fluid", "-json", jsonPath, spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]interface{}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("exported %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r["engine"] != "fluid" {
+			t.Fatalf("result not tagged fluid: %v", r)
+		}
+	}
+}
+
+// TestRunScalingAutoThreshold splits one sweep across engines: points at
+// or above the threshold go fluid, points below stay on the DES.
+func TestRunScalingAutoThreshold(t *testing.T) {
+	spec := writeSpec(t, `experiment "cli-auto" {
+		benchmark rubis; platform emulab; appserver jonas;
+		workload { users 60 to 120 step 60; writeratio 15; }
+	}`)
+	jsonPath := filepath.Join(t.TempDir(), "r.json")
+	err := run([]string{"-timescale", "0.05", "-scaling", "auto",
+		"-scalingthreshold", "100", "-json", jsonPath, spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]interface{}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	engines := map[float64]interface{}{}
+	for _, r := range results {
+		key := r["key"].(map[string]interface{})
+		engines[key["users"].(float64)] = r["engine"]
+	}
+	if engines[60] != "des" {
+		t.Fatalf("u=60 below threshold should be tagged des: %v", engines)
+	}
+	if engines[120] != "fluid" {
+		t.Fatalf("u=120 above threshold should be fluid: %v", engines)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Errorf("no args should error")
+	}
+	if err := run([]string{"-scaling", "quantum"}); err == nil {
+		t.Errorf("bad -scaling value should error")
+	}
+	if err := run([]string{"-scalingthreshold", "-5"}); err == nil {
+		t.Errorf("negative -scalingthreshold should error")
 	}
 	if err := run([]string{"/nope.tbl"}); err == nil {
 		t.Errorf("missing spec should error")

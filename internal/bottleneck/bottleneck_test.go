@@ -1,7 +1,6 @@
 package bottleneck
 
 import (
-	"math"
 	"strings"
 	"testing"
 
@@ -102,19 +101,6 @@ func TestKneeUnsorted(t *testing.T) {
 	x, ok := Knee(series, 500)
 	if !ok || x != 400 {
 		t.Fatalf("knee on unsorted input = %g, %v", x, ok)
-	}
-}
-
-func TestImprovement(t *testing.T) {
-	// Table 6's headline: 1-1-1 → 1-2-1 yields ~84% improvement.
-	if got := Improvement(1000, 157); math.Abs(got-84.3) > 0.1 {
-		t.Fatalf("improvement = %g", got)
-	}
-	if Improvement(0, 100) != 0 {
-		t.Fatalf("zero base should yield 0")
-	}
-	if got := Improvement(100, 130); got >= 0 {
-		t.Fatalf("regression should be negative: %g", got)
 	}
 }
 

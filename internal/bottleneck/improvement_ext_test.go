@@ -1,0 +1,24 @@
+package bottleneck_test
+
+// External test package: bottleneck sits below core in the import graph
+// (core → experiment → bottleneck), so the shared tolerance helper can
+// only be used from out-of-package tests.
+
+import (
+	"testing"
+
+	"elba/internal/bottleneck"
+	"elba/internal/core"
+)
+
+func TestImprovement(t *testing.T) {
+	// Table 6's headline: 1-1-1 → 1-2-1 yields ~84% improvement.
+	core.AssertWithin(t, bottleneck.Improvement(1000, 157), 84.3, 0.0012,
+		"Table 6 improvement for 1000 → 157 ms")
+	if bottleneck.Improvement(0, 100) != 0 {
+		t.Fatalf("zero base should yield 0")
+	}
+	if got := bottleneck.Improvement(100, 130); got >= 0 {
+		t.Fatalf("regression should be negative: %g", got)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TB is the minimal testing surface AssertWithin needs. *testing.T and
+// *testing.B satisfy it; keeping the interface local avoids importing
+// testing into a non-test package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// AssertWithin checks that got is within relTol relative tolerance of
+// want and reports a self-contained failure message otherwise: the label,
+// both values, the achieved relative error, and the allowed band. The
+// reference for the relative error is want; a zero want requires an
+// exactly zero got. label may be a format string with args.
+func AssertWithin(t TB, got, want, relTol float64, label string, args ...interface{}) bool {
+	t.Helper()
+	what := fmt.Sprintf(label, args...)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("%s: got %g, want %g ± %.1f%%", what, got, want, relTol*100)
+		return false
+	}
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("%s: got %g, want exactly 0", what, got)
+			return false
+		}
+		return true
+	}
+	rel := math.Abs(got-want) / math.Abs(want)
+	if rel > relTol {
+		t.Errorf("%s: got %g, want %g ± %.1f%% (off by %.1f%%)",
+			what, got, want, relTol*100, rel*100)
+		return false
+	}
+	return true
+}

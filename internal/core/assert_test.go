@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// recorder satisfies TB and captures failure messages.
+type recorder struct {
+	failures []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...interface{}) {
+	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+}
+
+func TestAssertWithin(t *testing.T) {
+	cases := []struct {
+		name       string
+		got, want  float64
+		relTol     float64
+		ok         bool
+		mentioning string
+	}{
+		{"inside band", 105, 100, 0.05, true, ""},
+		{"exact", 100, 100, 0, true, ""},
+		{"outside band", 106, 100, 0.05, false, "off by 6.0%"},
+		{"below band", 94, 100, 0.05, false, "off by 6.0%"},
+		{"zero want zero got", 0, 0, 0.05, true, ""},
+		{"zero want nonzero got", 0.1, 0, 0.05, false, "want exactly 0"},
+		{"nan got", math.NaN(), 100, 0.05, false, "got NaN"},
+		{"negative values inside", -105, -100, 0.05, true, ""},
+	}
+	for _, c := range cases {
+		rec := &recorder{}
+		ok := AssertWithin(rec, c.got, c.want, c.relTol, "metric %s", "x")
+		if ok != c.ok {
+			t.Errorf("%s: AssertWithin = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if !c.ok {
+			if len(rec.failures) != 1 {
+				t.Errorf("%s: recorded %d failures, want 1", c.name, len(rec.failures))
+				continue
+			}
+			msg := rec.failures[0]
+			if !strings.Contains(msg, "metric x") {
+				t.Errorf("%s: failure %q does not carry the label", c.name, msg)
+			}
+			if c.mentioning != "" && !strings.Contains(msg, c.mentioning) {
+				t.Errorf("%s: failure %q does not mention %q", c.name, msg, c.mentioning)
+			}
+		} else if len(rec.failures) != 0 {
+			t.Errorf("%s: unexpected failures %v", c.name, rec.failures)
+		}
+	}
+}
+
+func TestAssertWithinSatisfiedByTestingT(t *testing.T) {
+	// Compile-time check that *testing.T satisfies TB.
+	var _ TB = t
+	AssertWithin(t, 100, 100, 0, "identity")
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// TraceExemplars is the number of slowest traces each traced trial
 	// persists in full (used only when TraceRate > 0).
 	TraceExemplars int
+	// ScalingEngine overrides every experiment's scaling clause: "des",
+	// "fluid", or "auto" (empty = defer to TBL declarations).
+	ScalingEngine string
+	// ScalingThreshold is the population at which ScalingEngine "auto"
+	// switches trials to the fluid approximation.
+	ScalingThreshold int
 	// Catalog overrides the built-in CIM resource model.
 	Catalog *cim.Catalog
 	// Store receives results; a fresh store is created when nil.
@@ -107,6 +113,8 @@ func New(opts Options) (*Characterizer, error) {
 	runner.TrialRetries = opts.TrialRetries
 	runner.TraceRate = opts.TraceRate
 	runner.TraceExemplars = opts.TraceExemplars
+	runner.ScalingEngine = opts.ScalingEngine
+	runner.ScalingThreshold = opts.ScalingThreshold
 	c := &Characterizer{
 		catalog:   cat,
 		runner:    runner,

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"testing"
 
 	"elba/internal/spec"
@@ -69,10 +68,8 @@ func TestMVACrossValidation(t *testing.T) {
 				if !obs.Completed {
 					t.Fatalf("u=%d: trial failed: %s", users, obs.FailReason)
 				}
-				if rel := math.Abs(pred.Throughput-obs.Throughput) / obs.Throughput; rel > 0.1 {
-					t.Errorf("u=%d: throughput predicted %.2f vs observed %.2f (%.0f%% off)",
-						users, pred.Throughput, obs.Throughput, rel*100)
-				}
+				AssertWithin(t, pred.Throughput, obs.Throughput, 0.1,
+					"u=%d throughput (predicted vs observed)", users)
 				if ratio := pred.ResponseTimeMS / obs.AvgRTms; ratio < 0.4 || ratio > 2.5 {
 					t.Errorf("u=%d: RT predicted %.1f ms vs observed %.1f ms",
 						users, pred.ResponseTimeMS, obs.AvgRTms)
@@ -84,10 +81,8 @@ func TestMVACrossValidation(t *testing.T) {
 				// load grows. A relative band catches demand-accounting
 				// drift without pinning that known modelling gap.
 				bt := pred.BottleneckTier
-				if rel := math.Abs(pred.TierUtilization[bt]-obs.TierCPU[bt]) / pred.TierUtilization[bt]; rel > 0.35 {
-					t.Errorf("u=%d: %s utilization predicted %.1f%% vs observed %.1f%% (%.0f%% off)",
-						users, bt, pred.TierUtilization[bt], obs.TierCPU[bt], rel*100)
-				}
+				AssertWithin(t, obs.TierCPU[bt], pred.TierUtilization[bt], 0.35,
+					"u=%d %s utilization (observed vs predicted)", users, bt)
 			}
 		})
 	}

@@ -56,7 +56,7 @@ func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 		return ok, nil
 	}
 
-	users, violation, err := kneeBisect(probe, lo, hi, resolution)
+	users, violation, err := kneeBisect(memoProbe(probe), lo, hi, resolution)
 	if err != nil {
 		if errors.Is(err, errKneeLowerBound) {
 			return res, fmt.Errorf("experiment: lower bound %d users already violates the %g ms SLO", lo, sloMS)
@@ -66,6 +66,28 @@ func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 	res.Users = users
 	res.ViolationUsers = violation
 	return res, nil
+}
+
+// memoProbe wraps a probe so repeated populations reuse the recorded
+// verdict instead of re-spending a trial. Bisection over a shrinking
+// bracket never revisits a population on its own, but the anchor points
+// sit outside the loop, and a collapsed interval (hi - lo <= resolution)
+// ends the search right back on them — memoization makes the trial
+// budget per sweep independent of how the probing strategy lands.
+// Errors are not cached: a failed testbed run may be retried.
+func memoProbe(probe func(users int) (bool, error)) func(users int) (bool, error) {
+	seen := map[int]bool{}
+	return func(users int) (bool, error) {
+		if ok, done := seen[users]; done {
+			return ok, nil
+		}
+		ok, err := probe(users)
+		if err != nil {
+			return false, err
+		}
+		seen[users] = ok
+		return ok, nil
+	}
 }
 
 // errKneeLowerBound marks a search whose lower bound already fails the

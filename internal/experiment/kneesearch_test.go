@@ -133,6 +133,104 @@ func TestKneeBisectResolutionClamped(t *testing.T) {
 	}
 }
 
+// TestKneeSearchTrialBudgetPerSweep is the regression for the
+// re-probed-anchor bug: every sweep's trial count is pinned exactly, and
+// no population may be measured twice. A collapsed bisect interval
+// (hi - lo <= resolution) used to land the search back on the anchor; the
+// memoized probe makes that a cache hit instead of a re-run.
+func TestKneeSearchTrialBudgetPerSweep(t *testing.T) {
+	const knee = 737
+	sweeps := []struct {
+		name                string
+		lo, hi, res         int
+		ok                  func(int) bool
+		trials              int
+		first, last         int
+		wantUsers, wantViol int
+	}{
+		// Interval already collapsed: the search is just the two anchors.
+		{"collapsed", 100, 200, 100, func(u int) bool { return u <= 150 },
+			2, 100, 200, 100, 200},
+		{"adjacent", 500, 501, 1, func(u int) bool { return u <= 500 },
+			2, 500, 501, 500, 501},
+		{"resolution wider than bracket", 700, 760, 1000, func(u int) bool { return u <= knee },
+			2, 700, 760, 700, 760},
+		// Full bisections: anchors + one halving per iteration, exact.
+		{"res1", 1, 2048, 1, func(u int) bool { return u <= knee },
+			13, 1, 2048, knee, knee + 1},
+		{"res10", 1, 2048, 10, func(u int) bool { return u <= knee },
+			10, 1, 2048, 736, 744},
+		{"res100", 1, 2048, 100, func(u int) bool { return u <= knee },
+			7, 1, 2048, 704, 768},
+		{"unviolated", 100, 1500, 50, func(int) bool { return true },
+			2, 100, 1500, 1500, 0},
+	}
+	for _, s := range sweeps {
+		t.Run(s.name, func(t *testing.T) {
+			probe, probed := countingProbe(s.ok)
+			users, violation, err := kneeBisect(memoProbe(probe), s.lo, s.hi, s.res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if users != s.wantUsers || violation != s.wantViol {
+				t.Fatalf("bracket (%d, %d), want (%d, %d)", users, violation, s.wantUsers, s.wantViol)
+			}
+			if n := len(*probed); n != s.trials {
+				t.Fatalf("sweep spent %d trials, want exactly %d: %v", n, s.trials, *probed)
+			}
+			unique := map[int]bool{}
+			for _, u := range *probed {
+				if unique[u] {
+					t.Fatalf("population %d trialed twice: %v", u, *probed)
+				}
+				unique[u] = true
+			}
+			if (*probed)[0] != s.first || (*probed)[1] != s.last {
+				t.Fatalf("anchors should be probed first: %v", *probed)
+			}
+		})
+	}
+}
+
+// TestMemoProbeDedupes exercises the cache directly: a repeated
+// population must reuse the verdict without touching the underlying
+// probe, and errors must stay retryable.
+func TestMemoProbeDedupes(t *testing.T) {
+	probe, probed := countingProbe(func(u int) bool { return u <= 10 })
+	m := memoProbe(probe)
+	for _, u := range []int{5, 20, 5, 20, 5} {
+		ok, err := m(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (u <= 10) {
+			t.Fatalf("cached verdict for %d flipped to %v", u, ok)
+		}
+	}
+	if len(*probed) != 2 {
+		t.Fatalf("underlying probe ran %d times, want 2: %v", len(*probed), *probed)
+	}
+
+	// Errors are not cached: the same population may be retried.
+	calls := 0
+	flaky := memoProbe(func(int) (bool, error) {
+		calls++
+		if calls == 1 {
+			return false, fmt.Errorf("testbed hiccup")
+		}
+		return true, nil
+	})
+	if _, err := flaky(7); err == nil {
+		t.Fatal("first call should surface the error")
+	}
+	if ok, err := flaky(7); err != nil || !ok {
+		t.Fatalf("retry after error: ok=%v err=%v", ok, err)
+	}
+	if ok, err := flaky(7); err != nil || !ok || calls != 2 {
+		t.Fatalf("third call should hit the cache: ok=%v err=%v calls=%d", ok, err, calls)
+	}
+}
+
 func TestKneeBisectPropagatesProbeErrors(t *testing.T) {
 	boom := fmt.Errorf("testbed gone")
 	calls := 0

@@ -78,6 +78,12 @@ type Runner struct {
 	// TraceExemplars is the number of slowest traces each traced trial
 	// persists in full in its stored result.
 	TraceExemplars int
+	// ScalingEngine, when non-empty, overrides the experiment's scaling
+	// clause: "des", "fluid", or "auto" (with ScalingThreshold).
+	ScalingEngine string
+	// ScalingThreshold is the population at which engine "auto" switches
+	// to the fluid approximation. Used only with ScalingEngine "auto".
+	ScalingThreshold int
 
 	// clusterMu serializes cluster mutations (allocate/deploy/release).
 	clusterMu sync.Mutex
@@ -99,6 +105,16 @@ func NewRunner(catalog *cim.Catalog, st *store.Store) (*Runner, error) {
 		TimeScale:          1.0,
 		KeepGoingOnFailure: true,
 	}, nil
+}
+
+// engineFor resolves the trial engine for a workload point: the runner's
+// override wins over the experiment's scaling clause; both absent keeps
+// the historical untagged DES path.
+func (r *Runner) engineFor(e *spec.Experiment, users int) string {
+	if r.ScalingEngine != "" {
+		return spec.Scaling{ThresholdUsers: r.ScalingThreshold, Engine: r.ScalingEngine}.EngineFor(users)
+	}
+	return e.Scaling.EngineFor(users)
 }
 
 // Store exposes the accumulated results.
@@ -304,6 +320,7 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 	cfgFor := func(pt gridPoint) TrialConfig {
 		return TrialConfig{
 			Users:          pt.users,
+			Engine:         r.engineFor(e, pt.users),
 			WriteRatioPct:  pt.wr,
 			TimeScale:      r.TimeScale,
 			RootSeed:       r.Seed,
@@ -444,6 +461,7 @@ func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, w
 	}
 	out, terr := r.runPoint(e, d, placement, TrialConfig{
 		Users:          users,
+		Engine:         r.engineFor(e, users),
 		WriteRatioPct:  writeRatioPct,
 		TimeScale:      r.TimeScale,
 		RootSeed:       r.Seed,

@@ -17,10 +17,24 @@ import (
 // as failed-to-complete, producing the paper's Table 7 missing squares.
 const FailureErrorRate = 0.05
 
+// Trial engines. The empty string selects the historical DES path and
+// records no engine in the stored result.
+const (
+	// EngineDES is the exact discrete-event simulation: one Markov
+	// emulator per user session.
+	EngineDES = "des"
+	// EngineFluid is the aggregated user-class flow approximation, whose
+	// cost is independent of the population.
+	EngineFluid = "fluid"
+)
+
 // TrialConfig parameterizes one trial run.
 type TrialConfig struct {
 	// Users is the concurrent-user population for this trial.
 	Users int
+	// Engine selects the trial engine: EngineDES, EngineFluid, or ""
+	// (the historical DES path, recorded without an engine tag).
+	Engine string
 	// WriteRatioPct is the database write ratio in percent.
 	WriteRatioPct float64
 	// TimeScale shrinks the trial periods for fast runs (1.0 = the full
@@ -81,6 +95,13 @@ var memProfile = map[string]struct{ base, perJob float64 }{
 func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg TrialConfig) (*TrialOutcome, error) {
 	if cfg.Users <= 0 {
 		return nil, fmt.Errorf("experiment: trial needs at least one user")
+	}
+	switch cfg.Engine {
+	case "", EngineDES:
+	case EngineFluid:
+		return runFluidTrial(e, d, p, cfg)
+	default:
+		return nil, fmt.Errorf("experiment: unknown trial engine %q", cfg.Engine)
 	}
 	ts := cfg.TimeScale
 	if ts <= 0 {
@@ -277,23 +298,7 @@ func buildNTier(k *sim.Kernel, e *spec.Experiment, d *mulini.Deployment, p *depl
 	if err != nil {
 		return nil, 0, err
 	}
-	// Session capacity: each app-server instance holds MaxClients
-	// persistent connections, and multi-CPU nodes run one instance per
-	// CPU (the Warp blades run two WebLogic instances; the single-CPU
-	// Emulab nodes run one JOnAS each, giving the paper's 700-user limit
-	// for the 1-2-1 configuration).
-	maxSessions := 0
-	for _, role := range d.Roles("app") {
-		a, ok := d.Find(role)
-		if !ok || len(a.Packages) == 0 {
-			continue
-		}
-		node, ok := p.Node(role)
-		if !ok {
-			continue
-		}
-		maxSessions += a.Packages[0].MaxClients * node.Cores()
-	}
+	maxSessions := sessionCapacity(d, p)
 	nt := &sim.NTier{
 		Web: sim.NewTier(k, "web", sim.RoundRobin, web),
 		App: sim.NewTier(k, "app", sim.RoundRobin, app),
@@ -307,6 +312,27 @@ func buildNTier(k *sim.Kernel, e *spec.Experiment, d *mulini.Deployment, p *depl
 	}
 	nt.DB.Demand = nt.Demands[2]
 	return nt, maxSessions, nil
+}
+
+// sessionCapacity reports the deployment's total session capacity: each
+// app-server instance holds MaxClients persistent connections, and
+// multi-CPU nodes run one instance per CPU (the Warp blades run two
+// WebLogic instances; the single-CPU Emulab nodes run one JOnAS each,
+// giving the paper's 700-user limit for the 1-2-1 configuration).
+func sessionCapacity(d *mulini.Deployment, p *deploy.Placement) int {
+	maxSessions := 0
+	for _, role := range d.Roles("app") {
+		a, ok := d.Find(role)
+		if !ok || len(a.Packages) == 0 {
+			continue
+		}
+		node, ok := p.Node(role)
+		if !ok {
+			continue
+		}
+		maxSessions += a.Packages[0].MaxClients * node.Cores()
+	}
+	return maxSessions
 }
 
 // buildProbes wires a monitor probe to every deployed node. Network and
@@ -379,6 +405,7 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 			Users:         cfg.Users,
 			WriteRatioPct: cfg.WriteRatioPct,
 		},
+		Engine:         cfg.Engine,
 		Requests:       int64(rts.Count()),
 		Errors:         driver.Errors(),
 		RunSeconds:     dur,
@@ -409,11 +436,32 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 	}
 	res.InjectedErrors = driver.InjectedErrors()
 
-	// Per-host and per-tier CPU means over the run window, read from the
-	// monitor output exactly as the paper's analysis pipeline would. Disk
-	// and network utilization work the same way but stay nil-mapped (and
-	// thus absent from stored output) unless the experiment declared
-	// demands on those resources.
+	collectUtilization(&res, d, mon, hostOf,
+		func(role string) bool { return stationOf[role] != nil }, runStart, runEnd)
+
+	total := res.Requests + res.Errors
+	switch {
+	case total == 0:
+		res.Completed = false
+		res.FailReason = "no requests completed during the run period"
+	case res.ErrorRate() > FailureErrorRate:
+		res.Completed = false
+		res.FailReason = fmt.Sprintf("error rate %.1f%% exceeds %.0f%%",
+			res.ErrorRate()*100, FailureErrorRate*100)
+	default:
+		res.Completed = true
+	}
+	return res
+}
+
+// collectUtilization aggregates the monitor's utilization series over the
+// run window into per-host and per-tier means, exactly as the paper's
+// analysis pipeline reads sysstat output. Disk and network maps stay nil
+// (and thus absent from stored output) unless the run observed those
+// resources. observed filters to roles the engine actually modelled.
+func collectUtilization(res *store.Result, d *mulini.Deployment, mon *monitor.Monitor,
+	hostOf map[string]string, observed func(role string) bool, runStart, runEnd float64) {
+
 	tierSums := map[string]float64{}
 	tierCounts := map[string]int{}
 	// Allocated lazily: a CPU-only trial (no declared demands) must not
@@ -421,7 +469,7 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 	var diskSums, netSums map[string]float64
 	var diskCounts, netCounts map[string]int
 	for _, a := range d.Assignments {
-		if stationOf[a.Role] == nil {
+		if !observed(a.Role) {
 			continue
 		}
 		host := hostOf[a.Role]
@@ -475,20 +523,6 @@ func assembleResult(e *spec.Experiment, d *mulini.Deployment, driver *sim.Driver
 		}
 		res.TierNet[tier] = sum / float64(netCounts[tier])
 	}
-
-	total := res.Requests + res.Errors
-	switch {
-	case total == 0:
-		res.Completed = false
-		res.FailReason = "no requests completed during the run period"
-	case res.ErrorRate() > FailureErrorRate:
-		res.Completed = false
-		res.FailReason = fmt.Sprintf("error rate %.1f%% exceeds %.0f%%",
-			res.ErrorRate()*100, FailureErrorRate*100)
-	default:
-		res.Completed = true
-	}
-	return res
 }
 
 // mixRootSeed folds a runner-level root seed and the experiment name into

@@ -43,6 +43,23 @@ type Probe struct {
 	// NetRes is the host's contended network link, when the experiment
 	// declares payload demands (nil = none).
 	NetRes *sim.Resource
+
+	// Function-based counter sources, for engines that model hosts without
+	// sim stations (the fluid approximation). Each is the cumulative
+	// busy-time or level equivalent of the station/resource reading above
+	// and is consulted only when the corresponding object is nil.
+	//
+	// CPUBusyFn returns cumulative CPU busy-seconds for the host.
+	CPUBusyFn func() float64
+	// CPUServers is the core count dividing the CPU busy window when
+	// CPUBusyFn supplies the signal (minimum 1).
+	CPUServers int
+	// JobsFn returns the host's current in-flight request level.
+	JobsFn func() float64
+	// DiskBusyFn returns cumulative disk busy-seconds.
+	DiskBusyFn func() float64
+	// NetBusyFn returns cumulative network-link busy-seconds.
+	NetBusyFn func() float64
 }
 
 // Config configures a monitoring session.
@@ -124,10 +141,10 @@ func New(k *sim.Kernel, cfg Config, probes []Probe) (*Monitor, error) {
 		if m.has("disk") && p.DiskOps != nil {
 			st.disk = m.seriesFor(p.Host, "disk")
 		}
-		if m.has("disk") && p.Disk != nil {
+		if m.has("disk") && (p.Disk != nil || p.DiskBusyFn != nil) {
 			st.diskUtil = m.seriesFor(p.Host, "disk-util")
 		}
-		if m.has("network") && p.NetRes != nil {
+		if m.has("network") && (p.NetRes != nil || p.NetBusyFn != nil) {
 			st.netUtil = m.seriesFor(p.Host, "net-util")
 		}
 	}
@@ -163,6 +180,8 @@ func (m *Monitor) Start() {
 		p, st := &m.probes[i], &m.state[i]
 		if p.Station != nil {
 			st.lastBusy = p.Station.BusyTime()
+		} else if p.CPUBusyFn != nil {
+			st.lastBusy = p.CPUBusyFn()
 		}
 		if p.NetBytes != nil {
 			st.lastNet = p.NetBytes()
@@ -172,9 +191,13 @@ func (m *Monitor) Start() {
 		}
 		if p.Disk != nil {
 			st.lastDiskBusy = p.Disk.BusyTime()
+		} else if p.DiskBusyFn != nil {
+			st.lastDiskBusy = p.DiskBusyFn()
 		}
 		if p.NetRes != nil {
 			st.lastNetBusy = p.NetRes.BusyTime()
+		} else if p.NetBusyFn != nil {
+			st.lastNetBusy = p.NetBusyFn()
 		}
 	}
 	m.k.Schedule(m.cfg.IntervalSec, m.tick)
@@ -202,11 +225,21 @@ func (m *Monitor) sample(p *Probe, st *probeState, now float64) {
 	b := m.buf[:0]
 	if st.cpu != nil {
 		util := 0.0
-		if p.Station != nil {
-			busy := p.Station.BusyTime()
+		if p.Station != nil || p.CPUBusyFn != nil {
+			var busy float64
+			servers := 1
+			if p.Station != nil {
+				busy = p.Station.BusyTime()
+				servers = p.Station.Servers()
+			} else {
+				busy = p.CPUBusyFn()
+				if p.CPUServers > 1 {
+					servers = p.CPUServers
+				}
+			}
 			delta := busy - st.lastBusy
 			st.lastBusy = busy
-			util = delta / (m.cfg.IntervalSec * float64(p.Station.Servers()))
+			util = delta / (m.cfg.IntervalSec * float64(servers))
 			if util > 1 {
 				util = 1
 			}
@@ -230,6 +263,8 @@ func (m *Monitor) sample(p *Probe, st *probeState, now float64) {
 		used := p.BaseMemMB
 		if p.Station != nil {
 			used += float64(p.Station.InFlight()) * p.MemPerJobMB
+		} else if p.JobsFn != nil {
+			used += p.JobsFn() * p.MemPerJobMB
 		}
 		if p.TotalMemMB > 0 && used > p.TotalMemMB {
 			used = p.TotalMemMB
@@ -270,7 +305,12 @@ func (m *Monitor) sample(p *Probe, st *probeState, now float64) {
 		st.disk.Append(now, rate)
 	}
 	if st.diskUtil != nil {
-		busy := p.Disk.BusyTime()
+		busy := 0.0
+		if p.Disk != nil {
+			busy = p.Disk.BusyTime()
+		} else {
+			busy = p.DiskBusyFn()
+		}
 		delta := busy - st.lastDiskBusy
 		st.lastDiskBusy = busy
 		util := delta / m.cfg.IntervalSec
@@ -286,7 +326,12 @@ func (m *Monitor) sample(p *Probe, st *probeState, now float64) {
 		st.diskUtil.Append(now, util*100)
 	}
 	if st.netUtil != nil {
-		busy := p.NetRes.BusyTime()
+		busy := 0.0
+		if p.NetRes != nil {
+			busy = p.NetRes.BusyTime()
+		} else {
+			busy = p.NetBusyFn()
+		}
 		delta := busy - st.lastNetBusy
 		st.lastNetBusy = busy
 		util := delta / m.cfg.IntervalSec

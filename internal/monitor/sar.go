@@ -54,6 +54,13 @@ func ParseFile(text string) ([]Record, error) {
 		case "cpu", "net", "disk":
 			r.Device = rest[0]
 			rest = rest[1:]
+			// Utilization rows carry a literal "%util" marker after the
+			// device ("disk sda %util 42.00"); fold it into the family so
+			// they parse distinctly from the ops/byte-rate rows.
+			if len(rest) > 0 && rest[0] == "%util" {
+				r.Family += "-util"
+				rest = rest[1:]
+			}
 		}
 		for _, f := range rest {
 			v, err := strconv.ParseFloat(f, 64)

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"elba/internal/bottleneck"
+	"elba/internal/store"
+)
+
+// engineLabel names the trial engine that produced a result. Results
+// predating the scaling clause carry no tag and are exact-DES by
+// construction.
+func engineLabel(r store.Result) string {
+	if r.Engine == "" {
+		return "des"
+	}
+	return r.Engine
+}
+
+// experimentResults returns an experiment's results in canonical key
+// order (topology scale-out, then users, then write ratio).
+func experimentResults(st *store.Store, experiment string) []store.Result {
+	rs := st.Filter(func(r store.Result) bool { return r.Key.Experiment == experiment })
+	sort.SliceStable(rs, func(i, j int) bool {
+		a, b := rs[i].Key, rs[j].Key
+		if a.Topology != b.Topology {
+			return a.Topology < b.Topology
+		}
+		if a.Users != b.Users {
+			return a.Users < b.Users
+		}
+		return a.WriteRatioPct < b.WriteRatioPct
+	})
+	return rs
+}
+
+// TableEngineSummary lists an experiment's trials with their engine
+// provenance: which points came from the exact per-session DES and which
+// from the aggregated fluid approximation above the scaling threshold.
+func TableEngineSummary(st *store.Store, experiment string) string {
+	t := NewTable(fmt.Sprintf("Engine provenance: %s", experiment),
+		"Config (w-a-d)", "Users", "Write%", "Engine", "X (req/s)", "p50 (ms)")
+	for _, r := range experimentResults(st, experiment) {
+		if !r.Completed {
+			t.AddRow(r.Key.Topology, fmt.Sprint(r.Key.Users),
+				fmt.Sprintf("%g", r.Key.WriteRatioPct), engineLabel(r), "-", "-")
+			continue
+		}
+		t.AddRow(r.Key.Topology, fmt.Sprint(r.Key.Users),
+			fmt.Sprintf("%g", r.Key.WriteRatioPct), engineLabel(r),
+			fmt.Sprintf("%.1f", r.Throughput), fmt.Sprintf("%.1f", r.P50ms))
+	}
+	return t.String()
+}
+
+// relDelta is the signed relative difference of got versus want in
+// percent; 0 when both are 0.
+func relDelta(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (got - want) / want * 100
+}
+
+// divergenceCell renders a fluid-vs-exact delta, flagging values outside
+// the tolerance band with a trailing '*'.
+func divergenceCell(fluid, exact, relTol float64) string {
+	d := relDelta(fluid, exact)
+	flag := ""
+	if d > relTol*100 || d < -relTol*100 {
+		flag = "*"
+	}
+	return fmt.Sprintf("%+.1f%%%s", d, flag)
+}
+
+// TableEngineDivergence cross-tabulates an experiment run under both
+// engines: for every population present in the exact store it reports
+// the fluid engine's relative error on throughput, p50, and p90, and
+// whether the two bottleneck verdicts agree. Deltas outside relTol are
+// starred — the rendered form of the cross-validation battery's
+// tolerance bands, and the quickest way to see where a spec leaves the
+// fluid approximation's validity envelope.
+func TableEngineDivergence(exact, fluid *store.Store, experiment string, relTol float64) string {
+	t := NewTable(
+		fmt.Sprintf("Exact vs fluid divergence: %s (band %.0f%%)", experiment, relTol*100),
+		"Config (w-a-d)", "Users", "ΔX", "Δp50", "Δp90", "Verdict (exact)", "Verdict (fluid)", "Agree")
+	for _, er := range experimentResults(exact, experiment) {
+		fr, ok := fluid.Get(er.Key)
+		if !ok {
+			t.AddRow(er.Key.Topology, fmt.Sprint(er.Key.Users), "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		ve := bottleneck.Detect(er, bottleneck.DefaultThresholds)
+		vf := bottleneck.Detect(fr, bottleneck.DefaultThresholds)
+		agree := "yes"
+		if ve.Tier != vf.Tier || ve.Resource != vf.Resource {
+			agree = "NO"
+		}
+		t.AddRow(er.Key.Topology, fmt.Sprint(er.Key.Users),
+			divergenceCell(fr.Throughput, er.Throughput, relTol),
+			divergenceCell(fr.P50ms, er.P50ms, relTol),
+			divergenceCell(fr.P90ms, er.P90ms, relTol),
+			fmt.Sprintf("%s-%s", ve.Tier, ve.Resource),
+			fmt.Sprintf("%s-%s", vf.Tier, vf.Resource),
+			agree)
+	}
+	return t.String()
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"elba/internal/store"
+)
+
+func engineResult(users int, engine string, x, p50, p90, appCPU float64) store.Result {
+	return store.Result{
+		Key:        store.Key{Experiment: "eng", Topology: "1-1-1", Users: users, WriteRatioPct: 15},
+		Completed:  true,
+		Engine:     engine,
+		Throughput: x,
+		AvgRTms:    p50 * 1.1,
+		P50ms:      p50,
+		P90ms:      p90,
+		TierCPU:    map[string]float64{"web": 20, "app": appCPU, "db": 30},
+	}
+}
+
+func TestTableEngineSummary(t *testing.T) {
+	st := store.New()
+	st.Put(engineResult(100, "", 40, 80, 120, 50))
+	st.Put(engineResult(1000, "fluid", 60, 200, 300, 90))
+	failed := engineResult(2000, "fluid", 0, 0, 0, 0)
+	failed.Completed = false
+	st.Put(failed)
+
+	out := TableEngineSummary(st, "eng")
+	if !strings.Contains(out, "des") {
+		t.Errorf("untagged result not labeled des:\n%s", out)
+	}
+	if !strings.Contains(out, "fluid") {
+		t.Errorf("fluid engine missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + separator + 3 data rows.
+	if len(lines) < 5 {
+		t.Fatalf("summary too short:\n%s", out)
+	}
+	// Rows are in user order and the failed trial renders dashes.
+	if !strings.Contains(lines[len(lines)-1], "2000") ||
+		!strings.Contains(lines[len(lines)-1], "-") {
+		t.Errorf("failed fluid trial row wrong:\n%s", out)
+	}
+}
+
+func TestTableEngineDivergence(t *testing.T) {
+	exact := store.New()
+	fluid := store.New()
+	// In band on everything: +2% X, -3% p50, +4% p90.
+	exact.Put(engineResult(100, "", 50, 100, 150, 50))
+	fluid.Put(engineResult(100, "fluid", 51, 97, 156, 50))
+	// Out of band on p90 only, verdicts still agree (both app-cpu).
+	exact.Put(engineResult(500, "", 33.5, 3400, 4300, 96))
+	fluid.Put(engineResult(500, "fluid", 33.3, 3350, 5100, 100))
+
+	out := TableEngineDivergence(exact, fluid, "eng", 0.05)
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	var inBand, overload string
+	for _, l := range rows {
+		if strings.Contains(l, " 100 ") || strings.HasSuffix(l, "yes") && strings.Contains(l, "100") {
+			if strings.Contains(l, "+2.0%") {
+				inBand = l
+			}
+		}
+		if strings.Contains(l, "500") {
+			overload = l
+		}
+	}
+	if inBand == "" {
+		t.Fatalf("in-band row missing:\n%s", out)
+	}
+	if strings.Contains(inBand, "*") {
+		t.Errorf("in-band deltas flagged:\n%s", inBand)
+	}
+	if overload == "" {
+		t.Fatalf("overload row missing:\n%s", out)
+	}
+	if !strings.Contains(overload, "+18.6%*") {
+		t.Errorf("out-of-band p90 not starred: %s", overload)
+	}
+	if !strings.Contains(overload, "app-cpu") || !strings.Contains(overload, "yes") {
+		t.Errorf("verdict agreement lost: %s", overload)
+	}
+	// ΔX and Δp50 stay unstarred at deep overload — the structural
+	// divergence is confined to the tail.
+	if c := strings.Count(overload, "*"); c != 1 {
+		t.Errorf("overload row has %d stars, want exactly 1: %s", c, overload)
+	}
+}
+
+func TestTableEngineDivergenceMissingFluidPoint(t *testing.T) {
+	exact := store.New()
+	fluid := store.New()
+	exact.Put(engineResult(100, "", 50, 100, 150, 50))
+	out := TableEngineDivergence(exact, fluid, "eng", 0.05)
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing fluid point should render dashes:\n%s", out)
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("missing point must not claim disagreement:\n%s", out)
+	}
+}

@@ -172,6 +172,33 @@ func (d ResourceDemand) Zero() bool {
 	return d.CPUScale == 0 && d.DiskSec == 0 && d.NetBytes == 0
 }
 
+// Scaling is the TBL `scaling` clause: per-population trial-engine
+// selection. The exact DES emulates every user session individually; the
+// fluid engine aggregates sessions into user-class flow dynamics so
+// million-user populations cost the same as hundreds.
+type Scaling struct {
+	// ThresholdUsers is the population at which engine "auto" switches
+	// from the DES to the fluid approximation (0 = never).
+	ThresholdUsers int
+	// Engine is "des", "fluid", or "auto"; empty means unset (the
+	// historical DES path, with no engine recorded in results).
+	Engine string
+}
+
+// EngineFor resolves the engine for a workload point: "auto" picks the
+// fluid engine at or above the threshold and the DES below it.
+func (s Scaling) EngineFor(users int) string {
+	switch s.Engine {
+	case "auto":
+		if s.ThresholdUsers > 0 && users >= s.ThresholdUsers {
+			return "fluid"
+		}
+		return "des"
+	default:
+		return s.Engine
+	}
+}
+
 // Experiment is one TBL experiment block.
 type Experiment struct {
 	// Name identifies the experiment set, e.g. "rubis-baseline-jonas".
@@ -200,6 +227,10 @@ type Experiment struct {
 	// Demands maps tier name → per-request resource demands (disk,
 	// network, CPU scaling). Absent tiers keep the CPU-only model.
 	Demands map[string]ResourceDemand
+	// Scaling selects the trial engine by population: at or above the
+	// threshold the runner switches from the exact per-session DES to the
+	// aggregated fluid approximation.
+	Scaling Scaling
 	// Faults schedules fault windows within every trial.
 	Faults []Fault
 	// FaultProfile names a built-in random fault profile ("none", "light",
@@ -307,6 +338,16 @@ func (e *Experiment) String() string {
 				fmt.Fprintf(&b, " net %s;", trimFixed(d.NetBytes))
 			}
 			fmt.Fprintf(&b, " }")
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	if e.Scaling != (Scaling{}) {
+		fmt.Fprintf(&b, "\tscaling {")
+		if e.Scaling.ThresholdUsers > 0 {
+			fmt.Fprintf(&b, " threshold %d;", e.Scaling.ThresholdUsers)
+		}
+		if e.Scaling.Engine != "" {
+			fmt.Fprintf(&b, " engine %s;", e.Scaling.Engine)
 		}
 		fmt.Fprintf(&b, " }\n")
 	}

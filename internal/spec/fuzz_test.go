@@ -32,6 +32,9 @@ func FuzzParseTBL(f *testing.F) {
 	f.Add(`experiment "y" { benchmark rubbos; platform emulab;
 		workload { users 100; writeratio 15; }
 		demands { web { net 1500; } app { cpu 1.5; } db { cpu 0.5; disk 9ms; net 600; } } }`)
+	f.Add(`experiment "z" { benchmark rubbos; platform rohan;
+		workload { users 100 to 100000 step 100; }
+		scaling { threshold 5000; engine auto; } }`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		doc, err := Parse(src)

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"unicode"
@@ -360,6 +361,8 @@ func (p *parser) parseClause(e *Experiment, key string) error {
 		return p.parseAllocate(e)
 	case "demands":
 		return p.parseDemands(e)
+	case "scaling":
+		return p.parseScaling(e)
 	case "faults":
 		return p.parseFaults(e)
 	case "seed":
@@ -749,6 +752,52 @@ func (p *parser) parseDemands(e *Experiment) error {
 			e.Demands = map[string]ResourceDemand{}
 		}
 		e.Demands[tier] = d
+	}
+	return p.advance()
+}
+
+func (p *parser) parseScaling(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		key, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch key {
+		case "threshold":
+			v, err := p.number()
+			if err != nil {
+				return err
+			}
+			// Range-check before the int conversion: out-of-range
+			// float→int is implementation-defined, and no deployment has
+			// a trillion users anyway.
+			if !(v >= 0 && v <= 1e12) {
+				return p.errf("scaling threshold %g out of range", v)
+			}
+			if v != math.Trunc(v) {
+				return p.errf("scaling threshold %g must be an integer", v)
+			}
+			e.Scaling.ThresholdUsers = int(v)
+		case "engine":
+			v, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			switch v {
+			case "des", "fluid", "auto":
+			default:
+				return p.errf("unknown scaling engine %q (want des, fluid, or auto)", v)
+			}
+			e.Scaling.Engine = v
+		default:
+			return p.errf("unknown scaling key %q", key)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
 	}
 	return p.advance()
 }

@@ -1,0 +1,171 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScaling(t *testing.T) {
+	e := parseOne(t, `experiment "s" {
+	benchmark rubbos;
+	platform  rohan;
+	workload  { users 1000; }
+	scaling   { threshold 500; engine auto; }
+}`)
+	if e.Scaling.ThresholdUsers != 500 || e.Scaling.Engine != "auto" {
+		t.Fatalf("scaling = %+v", e.Scaling)
+	}
+}
+
+func TestParseScalingDefaultsEngineAuto(t *testing.T) {
+	e := parseOne(t, `experiment "s" {
+	benchmark rubbos; platform rohan;
+	workload { users 1000; }
+	scaling { threshold 500; }
+}`)
+	if e.Scaling.Engine != "auto" {
+		t.Fatalf("threshold without engine should default to auto, got %q", e.Scaling.Engine)
+	}
+}
+
+func TestParseScalingEngineOnly(t *testing.T) {
+	e := parseOne(t, `experiment "s" {
+	benchmark rubbos; platform rohan;
+	workload { users 1000; }
+	scaling { engine fluid; }
+}`)
+	if e.Scaling.Engine != "fluid" || e.Scaling.ThresholdUsers != 0 {
+		t.Fatalf("scaling = %+v", e.Scaling)
+	}
+}
+
+func TestParseScalingErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown key",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { cutover 500; } }`,
+			"unknown scaling key"},
+		{"unknown engine",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { engine turbo; } }`,
+			"unknown scaling engine"},
+		{"negative threshold",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { threshold -5; } }`,
+			"line"},
+		{"huge threshold",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { threshold 10000000000000; } }`,
+			"out of range"},
+		{"fractional threshold",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { threshold 10.5; } }`,
+			"must be an integer"},
+		{"unit on threshold",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { threshold 500s; } }`,
+			"unit not allowed"},
+		{"auto without threshold",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { engine auto; } }`,
+			"needs a positive threshold"},
+		{"fluid with faults",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { engine fluid; }
+			faults { db at 10s for 20s; } }`,
+			"cannot emulate fault windows"},
+		{"missing semicolon",
+			`experiment "x" { benchmark rubbos; platform rohan; workload { users 1; }
+			scaling { threshold 500 engine auto; } }`,
+			"line"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseScalingErrorNamesLine(t *testing.T) {
+	src := "experiment \"x\" {\n\tbenchmark rubbos;\n\tplatform rohan;\n\tworkload { users 1; }\n\tscaling { engine turbo; }\n}"
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error should name line 5: %v", err)
+	}
+}
+
+func TestScalingRoundTrip(t *testing.T) {
+	src := `experiment "s" {
+	benchmark rubbos;
+	platform  rohan;
+	workload  { users 100 to 2000 step 100; }
+	scaling   { threshold 1000; engine auto; }
+}`
+	e := parseOne(t, src)
+	rendered := e.String()
+	re := parseOne(t, rendered)
+	if re.Scaling != e.Scaling {
+		t.Fatalf("scaling changed through round trip: %+v -> %+v\n%s", e.Scaling, re.Scaling, rendered)
+	}
+	if again := re.String(); again != rendered {
+		t.Fatalf("String() not a fixpoint:\n%s\n---\n%s", rendered, again)
+	}
+}
+
+func TestScalingAbsentRendersNothing(t *testing.T) {
+	e := parseOne(t, `experiment "s" { benchmark rubbos; platform rohan; workload { users 100; } }`)
+	if strings.Contains(e.String(), "scaling") {
+		t.Fatalf("spec without scaling clause rendered one:\n%s", e.String())
+	}
+}
+
+func TestEngineFor(t *testing.T) {
+	cases := []struct {
+		s     Scaling
+		users int
+		want  string
+	}{
+		{Scaling{}, 100, ""},
+		{Scaling{Engine: "des"}, 1000000, "des"},
+		{Scaling{Engine: "fluid"}, 1, "fluid"},
+		{Scaling{Engine: "auto", ThresholdUsers: 500}, 499, "des"},
+		{Scaling{Engine: "auto", ThresholdUsers: 500}, 500, "fluid"},
+		{Scaling{Engine: "auto", ThresholdUsers: 500}, 1000000, "fluid"},
+		{Scaling{Engine: "auto"}, 1000000, "des"}, // unvalidated zero threshold: never switch
+	}
+	for i, c := range cases {
+		if got := c.s.EngineFor(c.users); got != c.want {
+			t.Errorf("case %d: %+v.EngineFor(%d) = %q, want %q", i, c.s, c.users, got, c.want)
+		}
+	}
+}
+
+func TestValidateScalingProgrammatic(t *testing.T) {
+	mk := func(s Scaling) *Experiment {
+		e := parseOne(t, `experiment "v" { benchmark rubbos; platform rohan; workload { users 1; } }`)
+		e.Scaling = s
+		return e
+	}
+	if err := Validate(mk(Scaling{ThresholdUsers: 100, Engine: "auto"})); err != nil {
+		t.Fatalf("valid scaling rejected: %v", err)
+	}
+	bad := []Scaling{
+		{Engine: "turbo"},
+		{Engine: "auto"},
+		{ThresholdUsers: -1},
+	}
+	for _, s := range bad {
+		if err := Validate(mk(s)); err == nil {
+			t.Errorf("scaling %+v accepted", s)
+		}
+	}
+}

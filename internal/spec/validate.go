@@ -63,6 +63,9 @@ func applyDefaults(e *Experiment) {
 	if e.Mix == "" && e.Benchmark == "rubbos" {
 		e.Mix = "submission"
 	}
+	if e.Scaling.ThresholdUsers > 0 && e.Scaling.Engine == "" {
+		e.Scaling.Engine = "auto"
+	}
 	if len(e.Allocate) == 0 && e.Platform == "emulab" {
 		// Paper §IV.A: the Emulab database node is the slow 600 MHz host;
 		// web and app servers run on 3 GHz nodes.
@@ -219,6 +222,28 @@ func Validate(e *Experiment) error {
 		if _, ok := fault.ProfileByName(e.FaultProfile); !ok {
 			return fmt.Errorf("tbl: experiment %q: unknown fault profile %q (have %v)",
 				e.Name, e.FaultProfile, fault.Profiles())
+		}
+	}
+	switch e.Scaling.Engine {
+	case "", "des", "fluid", "auto":
+	default:
+		return fmt.Errorf("tbl: experiment %q: unknown scaling engine %q (want des, fluid, or auto)",
+			e.Name, e.Scaling.Engine)
+	}
+	if e.Scaling.Engine == "auto" && e.Scaling.ThresholdUsers < 1 {
+		return fmt.Errorf("tbl: experiment %q: scaling engine auto needs a positive threshold", e.Name)
+	}
+	if e.Scaling.ThresholdUsers < 0 {
+		return fmt.Errorf("tbl: experiment %q: scaling threshold cannot be negative", e.Name)
+	}
+	if e.Scaling.Engine == "fluid" || e.Scaling.Engine == "auto" {
+		faulty := len(e.Faults) > 0
+		if p, ok := fault.ProfileByName(e.FaultProfile); ok && p.Enabled() {
+			faulty = true
+		}
+		if faulty {
+			return fmt.Errorf("tbl: experiment %q: the fluid engine cannot emulate fault windows; remove the faults clause or use engine des",
+				e.Name)
 		}
 	}
 	return nil

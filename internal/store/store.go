@@ -44,6 +44,11 @@ type Result struct {
 	Completed  bool   `json:"completed"`
 	FailReason string `json:"fail_reason,omitempty"`
 
+	// Engine records which trial engine produced the result ("des" or
+	// "fluid"); empty for the historical default DES path, so
+	// serializations of specs without a scaling clause stay byte-identical.
+	Engine string `json:"engine,omitempty"`
+
 	// Response-time statistics in milliseconds over successful requests.
 	AvgRTms float64 `json:"avg_rt_ms"`
 	P50ms   float64 `json:"p50_ms"`

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -140,6 +141,38 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if err := s2.LoadJSON([]byte("{not json")); err == nil {
 		t.Fatalf("bad json accepted")
+	}
+}
+
+// TestEngineFieldOmittedWhenEmpty pins the serialization contract the
+// byte-identity goldens depend on: a result produced without a scaling
+// clause (Engine == "") must marshal with no "engine" key at all, so
+// pre-fluid stores and post-fluid stores of the same sweep are
+// byte-identical. A fluid-tagged result must carry the key.
+func TestEngineFieldOmittedWhenEmpty(t *testing.T) {
+	des := mkResult("1-1-1", 100, 15, 100, true)
+	data, err := json.Marshal(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"engine"`) {
+		t.Fatalf("empty Engine serialized a key: %s", data)
+	}
+	fl := mkResult("1-1-1", 100, 15, 100, true)
+	fl.Engine = "fluid"
+	data, err = json.Marshal(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"engine":"fluid"`) {
+		t.Fatalf("fluid Engine not serialized: %s", data)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Engine != "fluid" {
+		t.Fatalf("engine lost in round trip: %+v", back)
 	}
 }
 
