@@ -152,6 +152,18 @@ func run(args []string) error {
 		}
 	}
 
+	// Render the SLO-verdict table for every experiment whose spec carries
+	// an assert expression.
+	for _, e := range doc.Experiments {
+		asserted := c.Results().Filter(func(r store.Result) bool {
+			return r.Key.Experiment == e.Name && r.SLOAssert != ""
+		})
+		if len(asserted) > 0 {
+			fmt.Println()
+			fmt.Print(report.TableSLO(c.Results(), e.Name))
+		}
+	}
+
 	// Render the per-tier resource-utilization table for every sweep when
 	// asked: one table per (experiment, topology, write ratio).
 	if *resources {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"elba/internal/store"
+)
+
+// sloSurgeTBL is the cross-engine SLO scenario: a flash crowd expressed
+// as a population expression (100 background users, then a surge ramps
+// 400 more in between t=200s and t=300s) over a database whose slow
+// spindle charges 9 ms per request. The assert is evaluated every 5 s
+// observation window; the pre-surge windows pass and the post-surge
+// windows violate on both the disk-utilization and tail-latency terms.
+func sloSurgeTBL(assert string) string {
+	return `experiment "xslo-surge" { benchmark rubbos; platform emulab; appserver tomcat;
+		topology { web 1; app 2; db 1; }
+		workload { users clamp(100 + 400*ramp((t - 200s)/100s), 100, 500); writeratio 15; }
+		demands  { db { disk 9ms; } }
+		trial    { warmup 100s; run 600s; cooldown 50s; }
+		slo      { assert ` + assert + `; } }`
+}
+
+func sloSurgeResult(t *testing.T, c *Characterizer) store.Result {
+	t.Helper()
+	r, ok := c.Results().Get(store.Key{Experiment: "xslo-surge", Topology: "1-2-1",
+		Users: 100, WriteRatioPct: 15})
+	if !ok {
+		t.Fatal("surge result missing (grid should collapse to the t=0 population)")
+	}
+	return r
+}
+
+// TestSLOCrossEngineAgreement runs the surge scenario through the exact
+// DES and the fluid approximation and demands the same SLO story from
+// both: identical window counts (the observation cadence is protocol
+// time, not engine time), a FAIL verdict on both sides with the first
+// violation inside the surge, and violation totals within a few windows
+// of each other — the engines may disagree about exactly when the knee
+// is crossed, but not about whether or roughly how long.
+func TestSLOCrossEngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES run in -short mode")
+	}
+	tbl := sloSurgeTBL("p99(rt) < 1s && util(db, disk) < 0.9")
+	des, fluid := runBothEngines(t, tbl)
+	dr := sloSurgeResult(t, des)
+	fr := sloSurgeResult(t, fluid)
+
+	// 600 s of run at 5 s cadence: 120 windows, engine-independent.
+	if dr.SLOWindows != 120 || fr.SLOWindows != 120 {
+		t.Fatalf("window counts: DES %d, fluid %d, want 120 each",
+			dr.SLOWindows, fr.SLOWindows)
+	}
+	if dr.SLOViolations == 0 || fr.SLOViolations == 0 {
+		t.Fatalf("surge must violate under both engines: DES %d, fluid %d",
+			dr.SLOViolations, fr.SLOViolations)
+	}
+	diff := dr.SLOViolations - fr.SLOViolations
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 6 {
+		t.Errorf("violation totals diverge: DES %d vs fluid %d (>6 windows apart)",
+			dr.SLOViolations, fr.SLOViolations)
+	}
+	for name, r := range map[string]store.Result{"DES": dr, "fluid": fr} {
+		first := r.SLOViolatedAt[0]
+		if first < 200 || first > 350 {
+			t.Errorf("%s first violation at %gs, want inside the surge [200s, 350s]",
+				name, first)
+		}
+		if len(r.SLOViolatedAt) != r.SLOViolations {
+			t.Errorf("%s recorded %d violation times for %d violations",
+				name, len(r.SLOViolatedAt), r.SLOViolations)
+		}
+	}
+}
+
+// TestSLOCrossEngineCalm is the control: with a generous objective the
+// same surge passes cleanly under both engines — violations come from
+// the workload crossing the assert, not from engine noise.
+func TestSLOCrossEngineCalm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES run in -short mode")
+	}
+	tbl := sloSurgeTBL("p50(rt) < 60s && util(db, cpu) < 1.5")
+	des, fluid := runBothEngines(t, tbl)
+	dr := sloSurgeResult(t, des)
+	fr := sloSurgeResult(t, fluid)
+	if dr.SLOWindows != 120 || fr.SLOWindows != 120 {
+		t.Fatalf("window counts: DES %d, fluid %d, want 120 each",
+			dr.SLOWindows, fr.SLOWindows)
+	}
+	if dr.SLOViolations != 0 || fr.SLOViolations != 0 {
+		t.Fatalf("calm assert violated: DES %d, fluid %d windows",
+			dr.SLOViolations, fr.SLOViolations)
+	}
+}

@@ -1,0 +1,381 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elba/internal/expr"
+	"elba/internal/fault"
+	"elba/internal/fluid"
+	"elba/internal/sim"
+	"elba/internal/spec"
+	"elba/internal/store"
+)
+
+// maxDynamicUsers bounds what a users expression can ask for in one trial,
+// so a runaway expression cannot allocate millions of DES sessions.
+const maxDynamicUsers = 1_000_000
+
+// exprHooks carries an experiment's compiled expression clauses through
+// one trial: the time-varying population, the SLO assert, and the fault
+// when-guards. Everything is evaluated at the observation cadence — the
+// monitor interval — over the measured run period only, reading the same
+// windowed signals the paper's analysis pipeline reads, so the hooks are
+// a pure function of (window observations, t) and preserve determinism.
+type exprHooks struct {
+	users  *expr.Program
+	assert *expr.Program
+	guards []*whenGuard
+
+	warm, run float64 // scaled phase bounds
+	windowSec float64 // scaled observation window width
+	ts        float64
+	capUsers  int // session-capacity clamp for dynamic populations (0 = none)
+
+	sloWindows    int
+	sloViolations int
+	sloViolatedAt []float64 // protocol seconds, window start
+}
+
+// whenGuard is one conditional fault trigger. The fault arms at its
+// declared time but fires only at the first window boundary at or past it
+// whose predicate has held in an observed window (the predicate latches:
+// a condition observed before the arm time still triggers at arm time's
+// next boundary).
+type whenGuard struct {
+	ev    fault.Event
+	prog  *expr.Program
+	armAt float64 // scaled absolute sim time
+	held  bool
+	fired bool
+}
+
+// newExprHooks compiles the experiment's expression clauses once per
+// trial. It returns nil when the spec carries no expressions, which is
+// what keeps expression-free trials on the exact historical event stream.
+func newExprHooks(e *spec.Experiment, warm, run, ts, windowSec float64, capUsers int) (*exprHooks, error) {
+	h := &exprHooks{warm: warm, run: run, ts: ts, windowSec: windowSec, capUsers: capUsers}
+	if h.windowSec <= 0 {
+		h.windowSec = run
+	}
+	var err error
+	if e.Workload.UsersExpr != "" {
+		if h.users, err = expr.Compile(e.Workload.UsersExpr); err != nil {
+			return nil, fmt.Errorf("experiment: users expression: %v", err)
+		}
+	}
+	if e.SLO.AssertExpr != "" {
+		if h.assert, err = expr.Compile(e.SLO.AssertExpr); err != nil {
+			return nil, fmt.Errorf("experiment: slo assert: %v", err)
+		}
+	}
+	for _, f := range e.Faults {
+		if f.WhenExpr == "" {
+			continue
+		}
+		prog, err := expr.Compile(f.WhenExpr)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: fault when-guard: %v", err)
+		}
+		ev, err := specFaultEvent(f)
+		if err != nil {
+			return nil, err
+		}
+		h.guards = append(h.guards, &whenGuard{ev: ev, prog: prog, armAt: warm + ev.AtSec*ts})
+	}
+	if h.users == nil && h.assert == nil && len(h.guards) == 0 {
+		return nil, nil
+	}
+	return h, nil
+}
+
+// initialUsers evaluates the workload's users expression at the start of
+// the run period (t = 0, no observations yet) — the population a trial of
+// a dynamic-workload spec starts with, and the spec's grid coordinate.
+func initialUsers(e *spec.Experiment) (int, error) {
+	prog, err := expr.Compile(e.Workload.UsersExpr)
+	if err != nil {
+		return 0, fmt.Errorf("experiment: users expression: %v", err)
+	}
+	return clampUsers(prog.Eval(&expr.Env{}), 0), nil
+}
+
+// clampUsers rounds an evaluated population into [1, maxDynamicUsers],
+// further capped by the deployment's session capacity when known.
+func clampUsers(v float64, capUsers int) int {
+	n := int(math.Round(v))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxDynamicUsers {
+		n = maxDynamicUsers
+	}
+	if capUsers > 0 && n > capUsers {
+		n = capUsers
+	}
+	return n
+}
+
+// observeSLO folds one window's verdict into the trial's SLO account.
+// tStart is the window's start in protocol seconds from run start.
+func (h *exprHooks) observeSLO(env *expr.Env, tStart float64) {
+	if h.assert == nil {
+		return
+	}
+	h.sloWindows++
+	if !h.assert.EvalBool(env) {
+		h.sloViolations++
+		h.sloViolatedAt = append(h.sloViolatedAt, tStart)
+	}
+}
+
+// shouldFire updates one guard with a window observation and reports
+// whether its fault starts at this boundary.
+func (g *whenGuard) shouldFire(env *expr.Env, now float64) bool {
+	if g.fired {
+		return false
+	}
+	if g.prog.EvalBool(env) {
+		g.held = true
+	}
+	if g.held && now+1e-9 >= g.armAt {
+		g.fired = true
+		return true
+	}
+	return false
+}
+
+// record writes the trial's SLO account into the stored result. All
+// fields are omitempty, so results of assert-free specs stay
+// byte-identical to historical output.
+func (h *exprHooks) record(res *store.Result) {
+	if h.assert == nil {
+		return
+	}
+	res.SLOAssert = h.assert.Source()
+	res.SLOWindows = h.sloWindows
+	res.SLOViolations = h.sloViolations
+	res.SLOViolatedAt = h.sloViolatedAt
+}
+
+// --- DES side ---------------------------------------------------------
+
+// desObserver builds per-window expression environments from the DES's
+// own measured signals: the driver's request log for throughput and
+// response-time quantiles, and the stations' busy-time integrals for
+// utilization — the same counters the monitor samples.
+type desObserver struct {
+	driver   *sim.Driver
+	tiers    [expr.NumTiers][]*sim.Station
+	prevIdx  int
+	prevBusy [expr.NumTiers][expr.NumResources]float64
+	prevTime float64
+	rts      []float64 // scratch, reused across windows
+}
+
+// observe closes the window [prevTime, now] and returns its environment.
+func (o *desObserver) observe(now, warm, ts float64) expr.Env {
+	dt := now - o.prevTime
+	env := expr.Env{T: (now - warm) / ts}
+	recs := o.driver.Records()
+	o.rts = o.rts[:0]
+	for _, r := range recs[o.prevIdx:] {
+		if r.Outcome == sim.OK && !r.TimedOut {
+			o.rts = append(o.rts, r.RT)
+		}
+	}
+	o.prevIdx = len(recs)
+	if dt > 0 {
+		env.X = float64(len(o.rts)) / dt
+	}
+	sort.Float64s(o.rts)
+	env.P50 = quantileSorted(o.rts, 0.50)
+	env.P90 = quantileSorted(o.rts, 0.90)
+	env.P99 = quantileSorted(o.rts, 0.99)
+	for ti := range o.tiers {
+		var busy [expr.NumResources]float64
+		var servers, disks, nets float64
+		for _, st := range o.tiers[ti] {
+			busy[expr.ResCPU] += st.BusyTime()
+			servers += float64(st.Servers())
+			if d := st.Disk(); d != nil {
+				busy[expr.ResDisk] += d.BusyTime()
+				disks++
+			}
+			if n := st.Net(); n != nil {
+				busy[expr.ResNet] += n.BusyTime()
+				nets++
+			}
+		}
+		if dt > 0 {
+			if servers > 0 {
+				env.Util[ti][expr.ResCPU] = (busy[expr.ResCPU] - o.prevBusy[ti][expr.ResCPU]) / (dt * servers)
+			}
+			if disks > 0 {
+				env.Util[ti][expr.ResDisk] = (busy[expr.ResDisk] - o.prevBusy[ti][expr.ResDisk]) / (dt * disks)
+			}
+			if nets > 0 {
+				env.Util[ti][expr.ResNet] = (busy[expr.ResNet] - o.prevBusy[ti][expr.ResNet]) / (dt * nets)
+			}
+		}
+		o.prevBusy[ti] = busy
+	}
+	o.prevTime = now
+	return env
+}
+
+// quantileSorted interpolates like metrics.Sample.Quantile over an
+// already-sorted window, so DES window quantiles match the whole-run
+// statistics' definition. Empty windows report zero.
+func quantileSorted(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// armDES schedules the window boundaries on the trial kernel. Call it at
+// the start of the measured run, right after accounting has been reset
+// and measurement begun: the first window opens at that instant. users0
+// is the population the trial started with.
+func (h *exprHooks) armDES(k *sim.Kernel, driver *sim.Driver, nt *sim.NTier,
+	stationOf map[string]*sim.Station, users0 int) {
+
+	obs := &desObserver{driver: driver, prevTime: k.Now()}
+	obs.tiers[expr.TierWeb] = nt.Web.Stations()
+	obs.tiers[expr.TierApp] = nt.App.Stations()
+	obs.tiers[expr.TierDB] = nt.DB.Replicas()
+
+	target := users0
+	end := h.warm + h.run
+	var tick func()
+	tick = func() {
+		now := k.Now()
+		tStart := (obs.prevTime - h.warm) / h.ts
+		env := obs.observe(now, h.warm, h.ts)
+		h.observeSLO(&env, tStart)
+		for _, g := range h.guards {
+			if g.shouldFire(&env, now) {
+				armFault(k, driver, stationOf, g.ev, 0, g.ev.DurationSec*h.ts)
+			}
+		}
+		if h.users != nil {
+			// The population follows the expression at the observation
+			// cadence: the window just closed supplies the environment, and
+			// new sessions enter (or leave) at the boundary — observation-
+			// driven workload evolution, not an oracle schedule.
+			want := clampUsers(h.users.Eval(&env), h.capUsers)
+			switch {
+			case want > target:
+				driver.AddUsers(want-target, 0)
+			case want < target:
+				driver.RemoveUsers(target - want)
+			}
+			target = want
+		}
+		if rem := end - now; rem > 1e-9 {
+			if rem > h.windowSec {
+				rem = h.windowSec
+			}
+			k.Schedule(rem, tick)
+		}
+	}
+	first := h.windowSec
+	if first > h.run {
+		first = h.run
+	}
+	k.Schedule(first, tick)
+}
+
+// --- fluid side -------------------------------------------------------
+
+// fluidObserver builds per-window environments from the fluid solver's
+// window statistics and cumulative busy integrals, mirroring what the
+// DES observer reads from its own counters.
+type fluidObserver struct {
+	solver   *fluid.Solver
+	prevSnap fluid.Snapshot
+	prevBusy [expr.NumTiers][expr.NumResources]float64
+}
+
+func (o *fluidObserver) observe(warm, ts float64) expr.Env {
+	cur := o.solver.Snapshot()
+	st := o.solver.StatsBetween(o.prevSnap, cur)
+	env := expr.Env{
+		T:   (cur.Time - warm) / ts,
+		X:   st.ThroughputRPS,
+		P50: st.P50ms / 1000,
+		P90: st.P90ms / 1000,
+		P99: st.P99ms / 1000,
+	}
+	dt := cur.Time - o.prevSnap.Time
+	for ti := 0; ti < expr.NumTiers; ti++ {
+		busy := [expr.NumResources]float64{
+			expr.ResCPU:  o.solver.NodeCPUBusy(ti),
+			expr.ResDisk: o.solver.NodeDiskBusy(ti),
+			expr.ResNet:  o.solver.NodeNetBusy(ti),
+		}
+		if dt > 0 {
+			cores := float64(o.solver.NodeCores(ti))
+			if cores > 0 {
+				env.Util[ti][expr.ResCPU] = (busy[expr.ResCPU] - o.prevBusy[ti][expr.ResCPU]) / (dt * cores)
+			}
+			env.Util[ti][expr.ResDisk] = (busy[expr.ResDisk] - o.prevBusy[ti][expr.ResDisk]) / dt
+			env.Util[ti][expr.ResNet] = (busy[expr.ResNet] - o.prevBusy[ti][expr.ResNet]) / dt
+		}
+		o.prevBusy[ti] = busy
+	}
+	o.prevSnap = cur
+	return env
+}
+
+// runFluidWindows drives the measured run period window by window:
+// integrate to the boundary (letting the monitor's kernel ticks land on
+// schedule), close the observation window, evaluate the SLO assert, and
+// retarget the fluid population. Call it with the kernel and solver both
+// standing at the start of the run period.
+func (h *exprHooks) runFluidWindows(k *sim.Kernel, solver *fluid.Solver, users0 int) {
+	obs := &fluidObserver{solver: solver, prevSnap: solver.Snapshot()}
+	for ti := 0; ti < expr.NumTiers; ti++ {
+		obs.prevBusy[ti] = [expr.NumResources]float64{
+			expr.ResCPU:  solver.NodeCPUBusy(ti),
+			expr.ResDisk: solver.NodeDiskBusy(ti),
+			expr.ResNet:  solver.NodeNetBusy(ti),
+		}
+	}
+	target := users0
+	end := h.warm + h.run
+	for now := h.warm; end-now > 1e-9; {
+		next := now + h.windowSec
+		if next > end {
+			next = end
+		}
+		k.Run(next)
+		solver.Advance(next)
+		tStart := (now - h.warm) / h.ts
+		env := obs.observe(h.warm, h.ts)
+		h.observeSLO(&env, tStart)
+		if h.users != nil {
+			want := clampUsers(h.users.Eval(&env), h.capUsers)
+			if want != target {
+				solver.SetSessions(want)
+				target = want
+			}
+		}
+		now = next
+	}
+}

@@ -305,9 +305,20 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 		wr    float64
 		users int
 	}
+	// A users expression collapses the population axis to one trial whose
+	// grid coordinate is the expression's value at t = 0; the population
+	// then evolves inside the trial at the observation cadence.
+	usersVals := e.Workload.Users.Values()
+	if e.Workload.UsersExpr != "" {
+		u0, uerr := initialUsers(e)
+		if uerr != nil {
+			return uerr
+		}
+		usersVals = []float64{float64(u0)}
+	}
 	var points []gridPoint
 	for _, wr := range e.Workload.WriteRatioPct.Values() {
-		for _, users := range e.Workload.Users.Values() {
+		for _, users := range usersVals {
 			points = append(points, gridPoint{wr: wr, users: int(users)})
 		}
 	}

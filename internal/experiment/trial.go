@@ -162,7 +162,9 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	}
 
 	// Schedule fault injection: outages are specified relative to the run
-	// period and scale with the trial, like everything else.
+	// period and scale with the trial, like everything else. Faults with a
+	// when-guard are armed by the expression hooks at the observation
+	// cadence instead of firing on the clock.
 	for _, f := range e.Faults {
 		ev, err := specFaultEvent(f)
 		if err != nil {
@@ -174,6 +176,9 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 					f.Role, d.Topology)
 			}
 		}
+		if f.WhenExpr != "" {
+			continue
+		}
 		scheduleFault(k, driver, stationOf, ev, warm, ts)
 	}
 	// Profile-derived fault plan: same mechanism, derived coordinates.
@@ -184,6 +189,13 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 		scheduleFault(k, driver, stationOf, ev, warm, ts)
 	}
 
+	// Expression hooks: nil for expression-free specs, which therefore run
+	// the exact historical event stream.
+	hooks, err := newExprHooks(e, warm, run, ts, e.Monitor.IntervalSec*ts, maxSessions)
+	if err != nil {
+		return nil, err
+	}
+
 	driver.Start()
 	mon.Start()
 
@@ -191,6 +203,9 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	nt.ResetAccounting()
 	driver.BeginMeasurement()
 	runStart := k.Now()
+	if hooks != nil {
+		hooks.armDES(k, driver, nt, stationOf, cfg.Users)
+	}
 	k.Run(warm + run)
 	driver.EndMeasurement()
 	runEnd := k.Now()
@@ -200,6 +215,9 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	res := assembleResult(e, d, driver, mon, stationOf, hostOf, cfg, runStart, runEnd)
 	res.DeployRetries = p.Retries
 	res.DeploySeconds = p.DeploySec
+	if hooks != nil {
+		hooks.record(&res)
+	}
 	if tracer != nil {
 		res.Trace = trace.BuildReport(tracer, cfg.TraceExemplars)
 	}
@@ -222,12 +240,20 @@ func specFaultEvent(f spec.Fault) (fault.Event, error) {
 
 // scheduleFault arms one fault window on the trial's kernel. Times are
 // relative to the run period's start and scale with the trial; roles not
-// present in the topology are ignored.
+// present in the topology are ignored. It must be called before the
+// kernel runs (delays are measured from time zero).
 func scheduleFault(k *sim.Kernel, driver *sim.Driver, stationOf map[string]*sim.Station,
 	ev fault.Event, warm, ts float64) {
+	armFault(k, driver, stationOf, ev, warm+ev.AtSec*ts, ev.DurationSec*ts)
+}
 
-	at := warm + ev.AtSec*ts
-	end := at + ev.DurationSec*ts
+// armFault schedules one fault's start and recovery, `at` kernel seconds
+// from now for `dur` kernel seconds. When-guarded faults fire through
+// this path at a window boundary with at = 0.
+func armFault(k *sim.Kernel, driver *sim.Driver, stationOf map[string]*sim.Station,
+	ev fault.Event, at, dur float64) {
+
+	end := at + dur
 	switch ev.Kind {
 	case fault.Crash:
 		st, ok := stationOf[ev.Role]

@@ -41,10 +41,18 @@ func runFluidTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement
 		rampUp = 10
 	}
 
+	maxSessions := sessionCapacity(d, p)
 	sessions, refused := cfg.Users, 0
-	if maxSessions := sessionCapacity(d, p); maxSessions > 0 && sessions > maxSessions {
+	if maxSessions > 0 && sessions > maxSessions {
 		refused = sessions - maxSessions
 		sessions = maxSessions
+	}
+
+	// Expression hooks: nil for expression-free specs, which therefore
+	// integrate the run period in one sweep exactly as before.
+	hooks, err := newExprHooks(e, warm, run, ts, e.Monitor.IntervalSec*ts, maxSessions)
+	if err != nil {
+		return nil, err
 	}
 
 	fcfg := fluid.Config{
@@ -99,8 +107,12 @@ func runFluidTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement
 	solver.Advance(warm)
 	runStart := k.Now()
 	snapA := solver.Snapshot()
-	k.Run(warm + run)
-	solver.Advance(warm + run)
+	if hooks != nil {
+		hooks.runFluidWindows(k, solver, sessions)
+	} else {
+		k.Run(warm + run)
+		solver.Advance(warm + run)
+	}
 	runEnd := k.Now()
 	snapB := solver.Snapshot()
 	k.Run(warm + run + cool)
@@ -110,6 +122,9 @@ func runFluidTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement
 	res := assembleFluidResult(e, d, solver, mon, hostOf, cfg, snapA, snapB, runStart, runEnd)
 	res.DeployRetries = p.Retries
 	res.DeploySeconds = p.DeploySec
+	if hooks != nil {
+		hooks.record(&res)
+	}
 	return &TrialOutcome{Result: res, Monitor: mon, RunWindow: [2]float64{runStart, runEnd}}, nil
 }
 

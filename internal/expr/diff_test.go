@@ -1,0 +1,150 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sameBits is the differential equality: bit-identical, except that all
+// NaNs compare equal. NaN payloads (including the sign bit) are
+// unspecified by IEEE 754 and the Go compiler may commute float
+// operands, so payload identity is not a property either evaluator can
+// promise; every numeric (non-NaN) result must still match exactly.
+func sameBits(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// genPopulation builds the shared expression population: ~1.2k
+// well-typed expressions split across the three result types, several
+// seeds, and nesting depths from leaves to the parser's comfort zone.
+func genPopulation(t *testing.T) []Expr {
+	t.Helper()
+	var pop []Expr
+	for _, seed := range []int64{1, 7, 42, 20260808} {
+		g := &gen{r: rand.New(rand.NewSource(seed))}
+		for _, kind := range []Kind{Float, Duration, Bool} {
+			for i := 0; i < 100; i++ {
+				pop = append(pop, g.expr(kind, 1+i%5))
+			}
+		}
+	}
+	return pop
+}
+
+// TestVMMatchesInterpreter is the differential battery: every generated
+// expression round-trips through the canonical printer, compiles, and
+// must evaluate bit-identically on the bytecode VM and the reference
+// tree-walking interpreter under every environment in the pool.
+func TestVMMatchesInterpreter(t *testing.T) {
+	envs := genEnvs()
+	for _, ast := range genPopulation(t) {
+		src := String(ast)
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated expression does not re-parse: %q: %v", src, err)
+		}
+		if got := String(parsed); got != src {
+			t.Fatalf("printer is not a fixpoint: %q reprints as %q", src, got)
+		}
+		prog, err := CompileAST(parsed)
+		if err != nil {
+			t.Fatalf("generated expression does not compile: %q: %v", src, err)
+		}
+		for i := range envs {
+			vm := prog.Eval(&envs[i])
+			ref := evalRef(parsed, &envs[i])
+			if !sameBits(vm, ref) {
+				t.Fatalf("VM diverges from interpreter on %q (env %d): vm=%v (%#x) ref=%v (%#x)",
+					src, i, vm, math.Float64bits(vm), ref, math.Float64bits(ref))
+			}
+		}
+	}
+}
+
+// TestFoldPreservesSemantics pins the property fold(e) ≡ e: constant
+// folding never changes a result bit, under the reference interpreter,
+// for every generated expression and environment.
+func TestFoldPreservesSemantics(t *testing.T) {
+	envs := genEnvs()
+	for _, ast := range genPopulation(t) {
+		folded := Fold(ast)
+		for i := range envs {
+			a := evalRef(ast, &envs[i])
+			b := evalRef(folded, &envs[i])
+			if !sameBits(a, b) {
+				t.Fatalf("fold changed semantics of %q (env %d): before=%v after=%v",
+					String(ast), i, a, b)
+			}
+		}
+	}
+}
+
+// TestWellTypedKindAgrees checks the generator and checker agree on
+// every expression's type — a meta-check that the battery actually
+// exercises all three types, not a degenerate subset.
+func TestWellTypedKindAgrees(t *testing.T) {
+	g := &gen{r: rand.New(rand.NewSource(3))}
+	counts := map[Kind]int{}
+	for _, kind := range []Kind{Float, Duration, Bool} {
+		for i := 0; i < 150; i++ {
+			ast := g.expr(kind, 1+i%5)
+			got, err := Check(ast)
+			if err != nil {
+				t.Fatalf("generated %s expression fails check: %q: %v", kind, String(ast), err)
+			}
+			if got != kind {
+				t.Fatalf("generated %s expression checks as %s: %q", kind, got, String(ast))
+			}
+			counts[got]++
+		}
+	}
+	for _, kind := range []Kind{Float, Duration, Bool} {
+		if counts[kind] == 0 {
+			t.Fatalf("battery generated no %s expressions", kind)
+		}
+	}
+}
+
+// TestCompileDeterministic pins deterministic compilation: the same
+// source always yields the same bytecode and constant pool.
+func TestCompileDeterministic(t *testing.T) {
+	g := &gen{r: rand.New(rand.NewSource(9))}
+	for i := 0; i < 100; i++ {
+		src := String(g.expr(Kind(i%3), 1+i%4))
+		a, err := Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		b, err := Compile(src)
+		if err != nil {
+			t.Fatalf("recompile %q: %v", src, err)
+		}
+		if !reflect.DeepEqual(a.code, b.code) || !reflect.DeepEqual(a.consts, b.consts) || a.kind != b.kind {
+			t.Fatalf("compilation of %q is not deterministic", src)
+		}
+	}
+}
+
+// TestStackNeedWithinBounds evaluates deeply nested generated
+// expressions to confirm the static stack bound holds at the extremes
+// the generator can reach.
+func TestStackNeedWithinBounds(t *testing.T) {
+	g := &gen{r: rand.New(rand.NewSource(11))}
+	env := genEnvs()[0]
+	for i := 0; i < 50; i++ {
+		ast := g.expr(Float, 8)
+		prog, err := CompileAST(ast)
+		if err != nil {
+			t.Fatalf("compile deep expression: %v", err)
+		}
+		if need := prog.stackNeed(); need > maxStackSlots {
+			t.Fatalf("stack need %d exceeds %d for %q", need, maxStackSlots, String(ast))
+		}
+		prog.Eval(&env) // must not panic
+	}
+}

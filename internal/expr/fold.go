@@ -1,0 +1,165 @@
+package expr
+
+import "math"
+
+// Fold rewrites constant subtrees of a checked expression into literal
+// nodes, evaluating them with exactly the operations the VM would run
+// (same helpers, same left-to-right order), so folding never changes a
+// result bit. Folded trees are for the compiler only: a folded boolean
+// constant is a bare 0/1 literal, so re-running Check on the output can
+// reject trees whose source was well-typed.
+func Fold(e Expr) Expr {
+	switch n := e.(type) {
+	case *Lit, *Ident:
+		return e
+	case *Unary:
+		x := Fold(n.X)
+		if lx, ok := x.(*Lit); ok {
+			if n.Op == OpNeg {
+				return &Lit{At: n.At, Val: -lx.Val, Unit: lx.Unit}
+			}
+			return &Lit{At: n.At, Val: notF(lx.Val)}
+		}
+		if x == n.X {
+			return n
+		}
+		return &Unary{At: n.At, Op: n.Op, X: x}
+	case *Binary:
+		return foldBinary(n)
+	case *Call:
+		return foldCall(n)
+	}
+	return e
+}
+
+func foldBinary(n *Binary) Expr {
+	x := Fold(n.X)
+	y := Fold(n.Y)
+	lx, xConst := x.(*Lit)
+	ly, yConst := y.(*Lit)
+	if n.Op == OpAnd || n.Op == OpOr {
+		// Booleans are exactly 0 or 1 at runtime and the operands are
+		// pure, so short-circuit structure folds away whenever either
+		// side is constant.
+		if xConst {
+			if n.Op == OpAnd {
+				if lx.Val == 0 {
+					return &Lit{At: n.At, Val: 0}
+				}
+				return y
+			}
+			if lx.Val != 0 {
+				return &Lit{At: n.At, Val: 1}
+			}
+			return y
+		}
+		if yConst {
+			if n.Op == OpAnd {
+				if ly.Val == 0 {
+					return &Lit{At: n.At, Val: 0}
+				}
+				return x
+			}
+			if ly.Val != 0 {
+				return &Lit{At: n.At, Val: 1}
+			}
+			return x
+		}
+	} else if xConst && yConst {
+		a, b := lx.Val, ly.Val
+		var v float64
+		switch n.Op {
+		case OpAdd:
+			v = a + b
+		case OpSub:
+			v = a - b
+		case OpMul:
+			v = a * b
+		case OpDiv:
+			v = a / b
+		case OpLT:
+			v = b2f(a < b)
+		case OpLE:
+			v = b2f(a <= b)
+		case OpGT:
+			v = b2f(a > b)
+		case OpGE:
+			v = b2f(a >= b)
+		case OpEQ:
+			v = b2f(a == b)
+		case OpNE:
+			v = b2f(a != b)
+		}
+		return &Lit{At: n.At, Val: v, Unit: foldUnit(n.Op, lx, ly)}
+	}
+	if x == n.X && y == n.Y {
+		return n
+	}
+	return &Binary{At: n.At, Op: n.Op, X: x, Y: y}
+}
+
+// foldUnit tracks duration-ness through a folded arithmetic node so the
+// literal keeps the unit algebra the checker established.
+func foldUnit(op Op, x, y *Lit) string {
+	switch op {
+	case OpAdd, OpSub:
+		if x.Unit != "" {
+			return "s"
+		}
+	case OpMul:
+		if x.Unit != "" || y.Unit != "" {
+			return "s"
+		}
+	case OpDiv:
+		if x.Unit != "" && y.Unit == "" {
+			return "s"
+		}
+	}
+	return ""
+}
+
+func foldCall(n *Call) Expr {
+	switch n.Fn {
+	case "ramp", "sin", "min", "max", "clamp":
+	default:
+		// Observation builtins (x, p50/p90/p99, util) depend on the
+		// window environment; their symbolic arguments must not be
+		// folded (rt is not a variable).
+		return n
+	}
+	args := make([]Expr, len(n.Args))
+	allConst, changed := true, false
+	for i, a := range n.Args {
+		args[i] = Fold(a)
+		if args[i] != a {
+			changed = true
+		}
+		if _, ok := args[i].(*Lit); !ok {
+			allConst = false
+		}
+	}
+	if allConst {
+		unit := ""
+		for _, a := range args {
+			if a.(*Lit).Unit != "" {
+				unit = "s"
+			}
+		}
+		switch n.Fn {
+		case "ramp":
+			return &Lit{At: n.At, Val: rampF(args[0].(*Lit).Val)}
+		case "sin":
+			return &Lit{At: n.At, Val: math.Sin(args[0].(*Lit).Val)}
+		case "min":
+			return &Lit{At: n.At, Val: minF(args[0].(*Lit).Val, args[1].(*Lit).Val), Unit: unit}
+		case "max":
+			return &Lit{At: n.At, Val: maxF(args[0].(*Lit).Val, args[1].(*Lit).Val), Unit: unit}
+		case "clamp":
+			return &Lit{At: n.At, Val: clampF(args[0].(*Lit).Val, args[1].(*Lit).Val, args[2].(*Lit).Val), Unit: unit}
+		}
+	}
+	if !changed {
+		return n
+	}
+	return &Call{At: n.At, Fn: n.Fn, Args: args}
+}

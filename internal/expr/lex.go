@@ -1,0 +1,173 @@
+package expr
+
+import "strconv"
+
+// token kinds.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tNumber
+	tIdent
+	tOp     // one of the operator strings
+	tLParen // (
+	tRParen // )
+	tComma  // ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+	op   Op      // valid when kind == tOp
+	val  float64 // valid when kind == tNumber: canonical value (seconds for durations)
+	unit string  // "", "s", "ms"
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) at() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// advance consumes one byte, tracking line/column.
+func (l *lexer) bump() {
+	if l.src[l.pos] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.pos++
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		switch c := l.src[l.pos]; c {
+		case ' ', '\t', '\r', '\n':
+			l.bump()
+		default:
+			return l.scan()
+		}
+	}
+	return token{kind: tEOF, pos: l.at()}, nil
+}
+
+func (l *lexer) scan() (token, error) {
+	pos := l.at()
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c) || c == '.':
+		return l.scanNumber(pos)
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.bump()
+		}
+		return token{kind: tIdent, text: l.src[start:l.pos], pos: pos}, nil
+	}
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "==", "!=", "&&", "||":
+		l.bump()
+		l.bump()
+		return token{kind: tOp, text: two, pos: pos, op: twoCharOp(two)}, nil
+	}
+	switch c {
+	case '+':
+		l.bump()
+		return token{kind: tOp, text: "+", pos: pos, op: OpAdd}, nil
+	case '-':
+		l.bump()
+		return token{kind: tOp, text: "-", pos: pos, op: OpSub}, nil
+	case '*':
+		l.bump()
+		return token{kind: tOp, text: "*", pos: pos, op: OpMul}, nil
+	case '/':
+		l.bump()
+		return token{kind: tOp, text: "/", pos: pos, op: OpDiv}, nil
+	case '<':
+		l.bump()
+		return token{kind: tOp, text: "<", pos: pos, op: OpLT}, nil
+	case '>':
+		l.bump()
+		return token{kind: tOp, text: ">", pos: pos, op: OpGT}, nil
+	case '!':
+		l.bump()
+		return token{kind: tOp, text: "!", pos: pos, op: OpNot}, nil
+	case '(':
+		l.bump()
+		return token{kind: tLParen, text: "(", pos: pos}, nil
+	case ')':
+		l.bump()
+		return token{kind: tRParen, text: ")", pos: pos}, nil
+	case ',':
+		l.bump()
+		return token{kind: tComma, text: ",", pos: pos}, nil
+	}
+	return token{}, errAt(pos, "unexpected character %q", string(c))
+}
+
+func twoCharOp(s string) Op {
+	switch s {
+	case "<=":
+		return OpLE
+	case ">=":
+		return OpGE
+	case "==":
+		return OpEQ
+	case "!=":
+		return OpNE
+	case "&&":
+		return OpAnd
+	}
+	return OpOr
+}
+
+// scanNumber lexes digits with an optional fraction and an optional s/ms
+// unit suffix. Durations divide by the unit (never multiply by an
+// inexact 1e-3) so 9ms is the double nearest 0.009, matching the TBL
+// duration parser exactly.
+func (l *lexer) scanNumber(pos Pos) (token, error) {
+	start := l.pos
+	dots := 0
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		if l.src[l.pos] == '.' {
+			dots++
+		}
+		l.bump()
+	}
+	digits := l.src[start:l.pos]
+	if dots > 1 || digits == "." {
+		return token{}, errAt(pos, "malformed number %q", digits)
+	}
+	unitStart := l.pos
+	for l.pos < len(l.src) && isLetter(l.src[l.pos]) {
+		l.bump()
+	}
+	unit := l.src[unitStart:l.pos]
+	div := 1.0
+	switch unit {
+	case "":
+	case "s":
+	case "ms":
+		div = 1e3
+	default:
+		return token{}, errAt(pos, "number %q has unknown unit %q (want s or ms)", digits+unit, unit)
+	}
+	v, err := strconv.ParseFloat(digits, 64)
+	if err != nil {
+		return token{}, errAt(pos, "malformed number %q", digits+unit)
+	}
+	return token{kind: tNumber, text: digits + unit, pos: pos, val: v / div, unit: unit}, nil
+}

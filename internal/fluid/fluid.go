@@ -158,6 +158,7 @@ type Solver struct {
 	refusedActive float64 // refused sessions ramped in so far
 	qThink        float64
 	rejected      float64 // cumulative rejections
+	leaveDebt     float64 // sessions leaving once their in-flight request completes
 }
 
 // New builds a solver. It validates the configuration and precomputes
@@ -574,6 +575,37 @@ func (t *tierState) step(inAmt, dt float64) float64 {
 // Now reports the solver's current time.
 func (s *Solver) Now() float64 { return s.now }
 
+// SetSessions retargets the admitted population mid-run, the fluid
+// equivalent of the DES driver's AddUsers/RemoveUsers. Growth enters the
+// think pool immediately (like AddUsers with no ramp); shrinkage drains
+// from the think pool first, and sessions caught mid-request leave as
+// their requests complete (a leave debt settled against returning fluid).
+// Deterministic: the new population is a pure function of the call
+// sequence, like every other solver input.
+func (s *Solver) SetSessions(n int) {
+	if n < 0 {
+		n = 0
+	}
+	delta := float64(n) - float64(s.cfg.Sessions)
+	s.cfg.Sessions = n
+	if delta >= 0 {
+		s.entered += delta
+		s.qThink += delta
+		return
+	}
+	leave := -delta
+	if leave > s.entered {
+		leave = s.entered
+	}
+	s.entered -= leave
+	fromThink := leave
+	if fromThink > s.qThink {
+		fromThink = s.qThink
+	}
+	s.qThink -= fromThink
+	s.leaveDebt += leave - fromThink
+}
+
 // Advance integrates to time t: full fixed steps plus one final partial
 // step to land exactly on t. Advancing to the past is a no-op.
 func (s *Solver) Advance(t float64) {
@@ -619,6 +651,17 @@ func (s *Solver) stepOnce(dt float64) {
 	x := out
 	for i := range s.tiers {
 		x = s.tiers[i].step(x, dt)
+	}
+	// Sessions removed by SetSessions while in service leave at their
+	// request's completion: returning fluid pays the leave debt before
+	// rejoining the think pool.
+	if s.leaveDebt > 0 {
+		d := s.leaveDebt
+		if d > x {
+			d = x
+		}
+		s.leaveDebt -= d
+		x -= d
 	}
 	s.qThink += x
 	// Refused sessions loop think → instant rejection at rate 1/Z each.
@@ -931,3 +974,8 @@ func (s *Solver) NodeJobs(tier int) float64 {
 
 // Capacity reports a tier's service capacity in completions per second.
 func (s *Solver) Capacity(tier int) float64 { return s.tiers[tier].cap }
+
+// NodeCores reports a tier's per-node CPU count (the Erlang-C server
+// count), the denominator for windowed CPU-utilization sampling:
+// util = ΔNodeCPUBusy / (Δt × NodeCores).
+func (s *Solver) NodeCores(tier int) int { return s.tiers[tier].cores }

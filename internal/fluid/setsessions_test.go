@@ -1,0 +1,104 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+// setSessionsConfig is a think-dominated single-core baseline where the
+// closed fixed point X = N/(Z + R) is essentially N/Z, so throughput
+// should track population changes almost proportionally.
+func setSessionsConfig(sessions int) Config {
+	node := NodeSpec{Cores: 1, Speed: 1}
+	return Config{
+		Sessions: sessions,
+		ThinkSec: 7,
+		Web:      TierSpec{Name: "web", Nodes: []NodeSpec{node}},
+		App:      TierSpec{Name: "app", Nodes: []NodeSpec{node}},
+		DB:       TierSpec{Name: "db", Nodes: []NodeSpec{node}},
+		Classes: []Class{
+			{Name: "mix", Weight: 1, Web: 0.002, App: 0.010, DB: 0.004},
+		},
+	}
+}
+
+// windowX integrates [from, to] and returns the window's throughput.
+func windowX(s *Solver, from, to float64) float64 {
+	s.Advance(from)
+	a := s.Snapshot()
+	s.Advance(to)
+	b := s.Snapshot()
+	return (b.Done - a.Done) / (b.Time - a.Time)
+}
+
+func TestSetSessionsGrows(t *testing.T) {
+	s, err := New(setSessionsConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := windowX(s, 100, 200)
+	s.SetSessions(200)
+	x2 := windowX(s, 300, 400)
+	if ratio := x2 / x1; math.Abs(ratio-2) > 0.1 {
+		t.Fatalf("throughput ratio after doubling population = %.3f, want ~2 (x1=%.2f x2=%.2f)",
+			ratio, x1, x2)
+	}
+}
+
+func TestSetSessionsShrinksAndConserves(t *testing.T) {
+	s, err := New(setSessionsConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(100)
+	s.SetSessions(50)
+	// Population is conserved through the drain: fluid still in the system
+	// (think pool + tier queues) is the 50 remaining sessions plus the
+	// leavers still finishing their in-flight requests.
+	for _, to := range []float64{101, 110, 150, 300} {
+		s.Advance(to)
+		inSystem := s.qThink
+		for i := range s.tiers {
+			inSystem += s.tiers[i].q
+		}
+		if math.Abs(inSystem-50-s.leaveDebt) > 1e-6 {
+			t.Fatalf("t=%g: sessions in system %.9f, want 50 + debt %.9f", to, inSystem, s.leaveDebt)
+		}
+	}
+	x := windowX(s, 300, 400)
+	want := windowXFresh(t, 50)
+	if math.Abs(x-want)/want > 0.05 {
+		t.Fatalf("post-shrink throughput %.3f, want ~%.3f (fresh 50-user solver)", x, want)
+	}
+	if s.leaveDebt > 1e-6 {
+		t.Fatalf("leave debt not drained: %g", s.leaveDebt)
+	}
+}
+
+// windowXFresh measures steady throughput of a fresh solver at n users.
+func windowXFresh(t *testing.T, n int) float64 {
+	t.Helper()
+	s, err := New(setSessionsConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return windowX(s, 300, 400)
+}
+
+func TestSetSessionsDeterministic(t *testing.T) {
+	run := func() float64 {
+		s, err := New(setSessionsConfig(100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Advance(50)
+		s.SetSessions(400)
+		s.Advance(120)
+		s.SetSessions(80)
+		s.Advance(250)
+		return s.Snapshot().Done
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("SetSessions sequence not deterministic: %g vs %g", a, b)
+	}
+}

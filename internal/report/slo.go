@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"elba/internal/store"
+)
+
+// TableSLO renders the per-trial verdicts of the spec's SLO assert
+// expression: how many observation windows were checked, how many
+// violated, and when the first violation opened — the windowed view the
+// paper's availability analysis reads, generalized from fixed thresholds
+// to arbitrary predicates.
+func TableSLO(st *store.Store, experiment string) string {
+	rs := st.Filter(func(r store.Result) bool {
+		return r.Key.Experiment == experiment && r.SLOAssert != ""
+	})
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Key.Topology != rs[j].Key.Topology {
+			return rs[i].Key.Topology < rs[j].Key.Topology
+		}
+		if rs[i].Key.WriteRatioPct != rs[j].Key.WriteRatioPct {
+			return rs[i].Key.WriteRatioPct < rs[j].Key.WriteRatioPct
+		}
+		return rs[i].Key.Users < rs[j].Key.Users
+	})
+
+	assert := ""
+	if len(rs) > 0 {
+		assert = rs[0].SLOAssert
+	}
+	t := NewTable(fmt.Sprintf("SLO verdicts — %s: assert %s", experiment, assert),
+		"Config (w-a-d)", "Users", "Writes", "Engine", "Windows", "Violations",
+		"First violation", "Verdict")
+	for _, r := range rs {
+		engine := r.Engine
+		if engine == "" {
+			engine = "des"
+		}
+		first, verdict := "-", "PASS"
+		if r.SLOViolations > 0 {
+			first = fmt.Sprintf("%.0fs", r.SLOViolatedAt[0])
+			verdict = "FAIL"
+		}
+		t.AddRow(r.Key.Topology, fmt.Sprint(r.Key.Users),
+			fmt.Sprintf("%g%%", r.Key.WriteRatioPct), engine,
+			fmt.Sprint(r.SLOWindows), fmt.Sprint(r.SLOViolations),
+			first, verdict)
+	}
+	return t.String()
+}

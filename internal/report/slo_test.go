@@ -1,0 +1,42 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"elba/internal/store"
+)
+
+func TestTableSLO(t *testing.T) {
+	st := store.New()
+	st.Put(store.Result{
+		Key:       store.Key{Experiment: "flash", Topology: "1-2-1", Users: 200, WriteRatioPct: 15},
+		SLOAssert: "p99(rt) < 500ms", SLOWindows: 60, SLOViolations: 0,
+	})
+	st.Put(store.Result{
+		Key:       store.Key{Experiment: "flash", Topology: "1-2-1", Users: 800, WriteRatioPct: 15},
+		Engine:    "fluid",
+		SLOAssert: "p99(rt) < 500ms", SLOWindows: 60, SLOViolations: 12,
+		SLOViolatedAt: []float64{150, 155, 160},
+	})
+	st.Put(store.Result{ // no assert: excluded from the table
+		Key: store.Key{Experiment: "flash", Topology: "1-1-1", Users: 100},
+	})
+
+	out := TableSLO(st, "flash")
+	for _, want := range []string{
+		"assert p99(rt) < 500ms",
+		"PASS", "FAIL", "150s", "fluid", "des",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "1-1-1") {
+		t.Errorf("assert-free result leaked into the SLO table:\n%s", out)
+	}
+	// Row order: the passing 200-user row before the failing 800-user row.
+	if strings.Index(out, "200") > strings.Index(out, "800") {
+		t.Errorf("rows not in user order:\n%s", out)
+	}
+}

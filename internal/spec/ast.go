@@ -89,6 +89,11 @@ func (t Topology) Nodes() int { return t.Web + t.App + t.DB }
 type Workload struct {
 	// Users sweeps the concurrent-user population.
 	Users Range
+	// UsersExpr, when non-empty, makes the population time-varying: a
+	// canonical float expression of the clock (e.g.
+	// "100 + 900*ramp(t/300s)") re-evaluated every measurement window.
+	// It replaces the Users sweep; the population at t=0 seeds the trial.
+	UsersExpr string
 	// WriteRatioPct sweeps the database write ratio in percent (0–90).
 	WriteRatioPct Range
 	// ThinkTimeSec overrides the benchmark's think time (0 = default).
@@ -111,6 +116,11 @@ type SLO struct {
 	AvgMS float64
 	P90MS float64
 	P99MS float64
+	// AssertExpr, when non-empty, is a canonical boolean expression
+	// (e.g. "p99(rt) < 500ms && util(db, disk) < 0.9") checked against
+	// every measurement window; windows where it fails are recorded as
+	// SLO violations in the trial result.
+	AssertExpr string
 }
 
 // Monitor configures the system-level monitors Mulini generates per host.
@@ -150,6 +160,11 @@ type Fault struct {
 	AtSec float64
 	// DurationSec is the window length in seconds.
 	DurationSec float64
+	// WhenExpr, when non-empty, is a canonical boolean guard: the fault
+	// window arms at AtSec only if the predicate has held in an observed
+	// measurement window by then; otherwise it fires as soon as a later
+	// window satisfies it (still running DurationSec).
+	WhenExpr string
 }
 
 // ResourceDemand declares one tier's per-request demands on its node's
@@ -281,7 +296,11 @@ func (e *Experiment) String() string {
 		fmt.Fprintf(&b, "\ttopology { web %d; app %d; db %d; }\n", t.Web, t.App, t.DB)
 	}
 	fmt.Fprintf(&b, "\tworkload {\n")
-	fmt.Fprintf(&b, "\t\tusers %s;\n", e.Workload.Users)
+	if e.Workload.UsersExpr != "" {
+		fmt.Fprintf(&b, "\t\tusers %s;\n", e.Workload.UsersExpr)
+	} else {
+		fmt.Fprintf(&b, "\t\tusers %s;\n", e.Workload.Users)
+	}
 	if !(e.Workload.WriteRatioPct.Fixed() && e.Workload.WriteRatioPct.Lo == 0) || e.Benchmark == "rubis" {
 		fmt.Fprintf(&b, "\t\twriteratio %s;\n", e.Workload.WriteRatioPct)
 	}
@@ -304,6 +323,9 @@ func (e *Experiment) String() string {
 		}
 		if e.SLO.P99MS > 0 {
 			fmt.Fprintf(&b, " p99 %sms;", trimFloat(e.SLO.P99MS))
+		}
+		if e.SLO.AssertExpr != "" {
+			fmt.Fprintf(&b, " assert %s;", e.SLO.AssertExpr)
 		}
 		fmt.Fprintf(&b, " }\n")
 	}
@@ -359,14 +381,18 @@ func (e *Experiment) String() string {
 		for _, f := range e.Faults {
 			switch f.Kind {
 			case "", "crash":
-				fmt.Fprintf(&b, " %s at %ss for %ss;", f.Role, trimFloat(f.AtSec), trimFloat(f.DurationSec))
+				fmt.Fprintf(&b, " %s at %ss for %ss", f.Role, trimFloat(f.AtSec), trimFloat(f.DurationSec))
 			case "errorburst":
-				fmt.Fprintf(&b, " client errorburst %s at %ss for %ss;",
+				fmt.Fprintf(&b, " client errorburst %s at %ss for %ss",
 					trimFloat(f.Factor), trimFloat(f.AtSec), trimFloat(f.DurationSec))
 			default:
-				fmt.Fprintf(&b, " %s %s %s at %ss for %ss;",
+				fmt.Fprintf(&b, " %s %s %s at %ss for %ss",
 					f.Role, f.Kind, trimFloat(f.Factor), trimFloat(f.AtSec), trimFloat(f.DurationSec))
 			}
+			if f.WhenExpr != "" {
+				fmt.Fprintf(&b, " when %s", f.WhenExpr)
+			}
+			b.WriteString(";")
 		}
 		fmt.Fprintf(&b, " }\n")
 	}

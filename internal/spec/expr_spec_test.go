@@ -1,0 +1,174 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseUsersExpr(t *testing.T) {
+	e := parseOne(t, `experiment "x" { benchmark rubis; platform warp;
+		workload { users 100 + 900*ramp(t/300s); } }`)
+	if got, want := e.Workload.UsersExpr, "100 + 900*ramp(t/300s)"; got != want {
+		t.Fatalf("UsersExpr = %q, want %q", got, want)
+	}
+	// The static sweep stays zero; the expression owns the population.
+	if e.Workload.Users != (Range{}) {
+		t.Fatalf("static Users range set alongside expression: %+v", e.Workload.Users)
+	}
+}
+
+func TestParseUsersStaticStaysRange(t *testing.T) {
+	for _, src := range []string{"users 100;", "users 100 to 1000 step 100;"} {
+		e := parseOne(t, `experiment "x" { benchmark rubis; platform warp;
+			workload { `+src+` } }`)
+		if e.Workload.UsersExpr != "" {
+			t.Fatalf("%s: static users parsed as expression %q", src, e.Workload.UsersExpr)
+		}
+		if e.Workload.Users.Lo != 100 {
+			t.Fatalf("%s: Users.Lo = %g", src, e.Workload.Users.Lo)
+		}
+	}
+}
+
+func TestParseSLOAssert(t *testing.T) {
+	e := parseOne(t, `experiment "x" { benchmark rubis; platform warp;
+		workload { users 100; }
+		slo { p99 500ms; assert p99(rt) < 500ms && util(db, disk) < 0.9; } }`)
+	if got, want := e.SLO.AssertExpr, "p99(rt) < 500ms && util(db, disk) < 0.9"; got != want {
+		t.Fatalf("AssertExpr = %q, want %q", got, want)
+	}
+	if e.SLO.P99MS != 500 {
+		t.Fatalf("threshold SLO lost alongside assert: %+v", e.SLO)
+	}
+}
+
+func TestParseFaultWhenGuard(t *testing.T) {
+	e := parseOne(t, `experiment "x" { benchmark rubis; platform warp;
+		workload { users 100; }
+		faults { JONAS1 at 100s for 60s when util(app, cpu) > 0.8;
+			MYSQL1 slowdown 0.5 at 80s for 30s; } }`)
+	if got, want := e.Faults[0].WhenExpr, "util(app, cpu) > 0.8"; got != want {
+		t.Fatalf("WhenExpr = %q, want %q", got, want)
+	}
+	if e.Faults[1].WhenExpr != "" {
+		t.Fatalf("unguarded fault grew a guard: %q", e.Faults[1].WhenExpr)
+	}
+}
+
+func TestExprClausesRoundTrip(t *testing.T) {
+	src := `experiment "x" { benchmark rubis; platform warp;
+		workload { users 100 + 900*ramp(t/300s); }
+		slo { assert p99(rt) < 500ms; }
+		faults { JONAS1 at 100s for 60s when util(app, cpu) > 0.8; } }`
+	e := parseOne(t, src)
+	rendered := e.String()
+	re := parseOne(t, rendered)
+	if again := re.String(); again != rendered {
+		t.Fatalf("String() not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", rendered, again)
+	}
+	if re.Workload.UsersExpr != e.Workload.UsersExpr ||
+		re.SLO.AssertExpr != e.SLO.AssertExpr ||
+		re.Faults[0].WhenExpr != e.Faults[0].WhenExpr {
+		t.Fatalf("expressions changed across round-trip: %+v vs %+v", re, e)
+	}
+}
+
+// TestExprClauseCanonicalized pins canonicalization: the stored source
+// is the expression printer's output, whatever spacing the spec used.
+func TestExprClauseCanonicalized(t *testing.T) {
+	e := parseOne(t, `experiment "x" { benchmark rubis; platform warp;
+		workload { users ((100))+900 * ramp( t / 300s ); } }`)
+	if got, want := e.Workload.UsersExpr, "100 + 900*ramp(t/300s)"; got != want {
+		t.Fatalf("UsersExpr = %q, want %q", got, want)
+	}
+}
+
+func TestExprClauseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"users type", `experiment "x" { benchmark rubis; platform warp;
+			workload { users p99(rt) < 1s; } }`, "must be float, got bool"},
+		{"users unknown var", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 100 + load; } }`, "unknown variable"},
+		{"users duration", `experiment "x" { benchmark rubis; platform warp;
+			workload { users t + 100s; } }`, "must be float, got duration"},
+		{"assert type", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 1; } slo { assert 1 + 2; } }`, "must be bool, got float"},
+		{"assert unit mismatch", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 1; } slo { assert p99(rt) < 0.5; } }`, "matching"},
+		{"duplicate assert", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 1; } slo { assert x() > 1; assert x() < 9; } }`, "already has an assert"},
+		{"when type", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 1; } faults { JONAS1 at 1s for 1s when t; } }`, "must be bool, got duration"},
+		{"missing semicolon", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 100 + 900*ramp(t/300s) } }`, "missing ';'"},
+		{"zero at t0", `experiment "x" { benchmark rubis; platform warp;
+			workload { users 1000*ramp(t/300s); } }`, "at t=0"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err.Error(), c.want)
+		}
+	}
+}
+
+// TestExprErrorPositions pins that expression errors surface with the
+// document's line and column, not the captured span's.
+func TestExprErrorPositions(t *testing.T) {
+	src := `experiment "x" {
+	benchmark rubis;
+	platform warp;
+	workload { users 100 + bogus; }
+}`
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("accepted spec with bad users expression")
+	}
+	// "bogus" sits on line 4; the column points at the identifier itself
+	// (col 25: `	workload { users 100 + bogus; }` with a leading tab).
+	if !strings.Contains(err.Error(), "line 4:25") {
+		t.Fatalf("error %q does not carry document position line 4:25", err.Error())
+	}
+}
+
+// TestExactTokenErrorPositions is the regression battery for the
+// positioned-error fix: the reported line must be the offending token's
+// own line even when the parser has already consumed it, or when the
+// value after an unknown key would otherwise be blamed.
+func TestExactTokenErrorPositions(t *testing.T) {
+	cases := []struct {
+		name, src, wantPos string
+	}{
+		{"unknown clause at EOL", `experiment "x" {
+	frobnicate
+	y; }`, "line 2:2"},
+		{"unknown trial key before value", `experiment "x" { benchmark rubis; platform warp;
+	workload { users 1; }
+	trial { rampup 60s; } }`, "line 3:10"},
+		{"unknown slo key before value", `experiment "x" { benchmark rubis; platform warp;
+	workload { users 1; }
+	slo { p95 100ms; } }`, "line 3:8"},
+		{"unknown topology tier before count", `experiment "x" { benchmark rubis; platform warp;
+	topology { cache 1; }
+	workload { users 1; } }`, "line 2:13"},
+		{"unknown workload key", `experiment "x" { benchmark rubis; platform warp;
+	workload { population
+	100; } }`, "line 2:13"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPos) {
+			t.Errorf("%s: error %q does not point at %s", c.name, err.Error(), c.wantPos)
+		}
+	}
+}

@@ -35,6 +35,17 @@ func FuzzParseTBL(f *testing.F) {
 	f.Add(`experiment "z" { benchmark rubbos; platform rohan;
 		workload { users 100 to 100000 step 100; }
 		scaling { threshold 5000; engine auto; } }`)
+	f.Add(`experiment "e" { benchmark rubbos; platform rohan;
+		workload { users 100 + 900*ramp(t/300s); }
+		slo { p99 500ms; assert p99(rt) < 500ms && util(db, disk) < 0.9; } }`)
+	f.Add(`experiment "w" { benchmark rubis; platform warp;
+		workload { users min(50 + 50*sin(t/60s), 200); }
+		trial { warmup 60s; run 300s; cooldown 60s; }
+		faults { JONAS1 at 100s for 60s when util(app, cpu) > 0.8;
+			MYSQL1 slowdown 0.5 at 80s for 30s when x() > 100; } }`)
+	f.Add(`experiment "q" { benchmark rubis; platform warp;
+		workload { users clamp(1000*ramp(t/120s), 10, 800); }
+		slo { assert !(p90(rt) > 250ms) || x() < 1; } }`)
 
 	f.Fuzz(func(t *testing.T, src string) {
 		doc, err := Parse(src)

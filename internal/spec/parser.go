@@ -7,6 +7,8 @@ import (
 	"strings"
 	"unicode"
 	"unicode/utf8"
+
+	"elba/internal/expr"
 )
 
 // tokKind classifies TBL lexemes.
@@ -24,16 +26,22 @@ type tok struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based column of the token's first byte
+	off  int // byte offset of the token's first byte in the document
 }
 
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the current line's first byte
 }
 
+// col reports the 1-based column of a byte offset on the current line.
+func (l *lexer) colAt(off int) int { return off - l.lineStart + 1 }
+
 func (l *lexer) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("tbl: line %d: %s", l.line, fmt.Sprintf(format, args...))
+	return fmt.Errorf("tbl: line %d:%d: %s", l.line, l.colAt(l.pos), fmt.Sprintf(format, args...))
 }
 
 func (l *lexer) next() (tok, error) {
@@ -43,6 +51,7 @@ func (l *lexer) next() (tok, error) {
 		case c == '\n':
 			l.line++
 			l.pos++
+			l.lineStart = l.pos
 		case c == ' ' || c == '\t' || c == '\r':
 			l.pos++
 		case c == '#':
@@ -57,12 +66,16 @@ func (l *lexer) next() (tok, error) {
 			return l.scan()
 		}
 	}
-	return tok{kind: tEOF, line: l.line}, nil
+	return tok{kind: tEOF, line: l.line, col: l.colAt(l.pos), off: l.pos}, nil
 }
 
 func (l *lexer) scan() (tok, error) {
 	c := l.src[l.pos]
 	start := l.pos
+	line, col := l.line, l.colAt(start)
+	mk := func(kind tokKind, text string) tok {
+		return tok{kind: kind, text: text, line: line, col: col, off: start}
+	}
 	switch {
 	case c == '"':
 		l.pos++
@@ -76,7 +89,7 @@ func (l *lexer) scan() (tok, error) {
 			return tok{}, l.errf("unterminated string")
 		}
 		l.pos++
-		return tok{kind: tString, text: l.src[start+1 : l.pos-1], line: l.line}, nil
+		return mk(tString, l.src[start+1:l.pos-1]), nil
 	case unicode.IsDigit(rune(c)):
 		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
 			l.pos++
@@ -93,23 +106,24 @@ func (l *lexer) scan() (tok, error) {
 		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || l.src[l.pos] == '%') {
 			l.pos++
 		}
-		return tok{kind: tNumber, text: l.src[start:l.pos], line: l.line}, nil
+		return mk(tNumber, l.src[start:l.pos]), nil
 	case unicode.IsLetter(rune(c)) || c == '_':
 		for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_' || l.src[l.pos] == '-') {
 			l.pos++
 		}
-		return tok{kind: tIdent, text: l.src[start:l.pos], line: l.line}, nil
+		return mk(tIdent, l.src[start:l.pos]), nil
 	case strings.ContainsRune("{};,", rune(c)):
 		l.pos++
-		return tok{kind: tPunct, text: string(c), line: l.line}, nil
+		return mk(tPunct, string(c)), nil
 	default:
 		return tok{}, l.errf("unexpected character %q", c)
 	}
 }
 
 type parser struct {
-	lx  *lexer
-	tok tok
+	lx   *lexer
+	tok  tok
+	last tok // most recently consumed token, for exact-position errors
 }
 
 func (p *parser) advance() error {
@@ -117,12 +131,27 @@ func (p *parser) advance() error {
 	if err != nil {
 		return err
 	}
+	p.last = p.tok
 	p.tok = t
 	return nil
 }
 
+// errf reports an error at the current (unconsumed) token.
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("tbl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+	return errTok(p.tok, format, args...)
+}
+
+// errLast reports an error at the most recently consumed token. Use it
+// when the token itself is the problem ("unknown clause %q") and the
+// parser has already advanced past it — reporting the current token
+// would point at whatever happens to follow, often on the wrong line.
+func (p *parser) errLast(format string, args ...interface{}) error {
+	return errTok(p.last, format, args...)
+}
+
+// errTok reports an error positioned at a specific token.
+func errTok(t tok, format string, args ...interface{}) error {
+	return fmt.Errorf("tbl: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
 }
 
 func (p *parser) expectPunct(s string) error {
@@ -243,6 +272,107 @@ func (p *parser) rangeNumber() (float64, error) {
 		return 0, p.errf("invalid number %q", p.tok.text)
 	}
 	return v, p.advance()
+}
+
+// rawValue captures the raw source text from just after the current
+// token up to (not including) the next ';', then leaves the parser
+// positioned past that ';'. Expression-bearing clauses (users asserts,
+// SLO asserts, fault when-guards) use it: expressions carry characters
+// the TBL lexer does not tokenize ((, &&, !), so their span must be cut
+// from the raw document and handed to the expression front end whole.
+// The returned line/col locate the span's first byte for translating
+// expression-error positions back into document coordinates.
+func (p *parser) rawValue() (raw string, line, col int, err error) {
+	l := p.lx
+	start := l.pos
+	idx := strings.IndexByte(l.src[start:], ';')
+	if idx < 0 {
+		return "", 0, 0, p.errf("missing ';' after %s", p.tok.text)
+	}
+	raw = l.src[start : start+idx]
+	line, col = l.line, l.colAt(start)
+	// The lexer never saw the span: replay its newlines so subsequent
+	// tokens keep correct positions.
+	for i := 0; i < len(raw); i++ {
+		if raw[i] == '\n' {
+			l.line++
+			l.lineStart = start + i + 1
+		}
+	}
+	l.pos = start + idx
+	if err := p.advance(); err != nil { // lex the ';'
+		return "", 0, 0, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return "", 0, 0, err
+	}
+	return raw, line, col, nil
+}
+
+// exprErrAt translates an expression front-end error into document
+// coordinates: expression positions are 1-based within the raw span,
+// which starts at (line, col) in the document.
+func exprErrAt(err error, line, col int) error {
+	if ee, ok := err.(*expr.Error); ok {
+		dl, dc := line+ee.Pos.Line-1, ee.Pos.Col
+		if ee.Pos.Line == 1 {
+			dc = col + ee.Pos.Col - 1
+		}
+		return fmt.Errorf("tbl: line %d:%d: %s", dl, dc, ee.Msg)
+	}
+	return fmt.Errorf("tbl: line %d:%d: %v", line, col, err)
+}
+
+// compileClauseExpr compiles a raw expression span captured at
+// (line, col) and requires the given result type.
+func compileClauseExpr(raw string, line, col int, want expr.Kind, clause string) (*expr.Program, error) {
+	prog, err := expr.Compile(raw)
+	if err != nil {
+		return nil, exprErrAt(err, line, col)
+	}
+	if prog.Kind() != want {
+		return nil, fmt.Errorf("tbl: line %d:%d: %s expression must be %s, got %s",
+			line, col, clause, want, prog.Kind())
+	}
+	return prog, nil
+}
+
+// tryRange attempts to read a raw span starting at document position
+// (line, col) as the static range grammar ("100" or "100 to 1000 step
+// 100"). Static specs keep parsing into Range — byte-identically to
+// before the expression language existed. The shape "<number>" or
+// "<number> to ..." claims the range grammar definitively: a malformed
+// range reports the range error (isRange true) instead of falling
+// through to a baffling expression error. Everything else is handed to
+// the expression parser.
+func tryRange(raw string, line, col int) (r Range, isRange bool, err error) {
+	// Seed the sub-lexer with document coordinates so any error it
+	// reports points into the original file, not the captured span.
+	mkSub := func() *parser {
+		return &parser{lx: &lexer{src: raw, line: line, lineStart: -(col - 1)}}
+	}
+	shape := mkSub()
+	if shape.advance() != nil || shape.tok.kind != tNumber {
+		return Range{}, false, nil
+	}
+	if shape.advance() != nil {
+		return Range{}, false, nil
+	}
+	if shape.tok.kind != tEOF && !(shape.tok.kind == tIdent && shape.tok.text == "to") {
+		return Range{}, false, nil
+	}
+	sub := mkSub()
+	if err := sub.advance(); err != nil {
+		return Range{}, true, err
+	}
+	r, err = sub.rangeOrValue()
+	if err != nil {
+		return Range{}, true, err
+	}
+	if sub.tok.kind != tEOF {
+		return Range{}, true, sub.errf("unexpected %q after range", sub.tok.text)
+	}
+	return r, true, nil
 }
 
 // Parse reads a TBL document.
@@ -380,7 +510,7 @@ func (p *parser) parseClause(e *Experiment, key string) error {
 		e.Repeat = int(v)
 		return p.expectPunct(";")
 	default:
-		return p.errf("unknown clause %q", key)
+		return p.errLast("unknown clause %q", key)
 	}
 }
 
@@ -389,9 +519,15 @@ func (p *parser) parseTopology(e *Experiment) error {
 		return err
 	}
 	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		tierTok := p.tok
 		tier, err := p.expectIdent()
 		if err != nil {
 			return err
+		}
+		switch tier {
+		case "web", "app", "db":
+		default:
+			return errTok(tierTok, "unknown tier %q", tier)
 		}
 		n, err := p.number()
 		if err != nil {
@@ -404,8 +540,6 @@ func (p *parser) parseTopology(e *Experiment) error {
 			e.Topology.App = int(n)
 		case "db":
 			e.Topology.DB = int(n)
-		default:
-			return p.errf("unknown tier %q", tier)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return err
@@ -465,17 +599,33 @@ func (p *parser) parseWorkload(e *Experiment) error {
 		return err
 	}
 	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		// users may carry an expression, whose span must be captured
+		// before the lexer touches it — peek the key without advancing.
+		if p.tok.kind == tIdent && p.tok.text == "users" {
+			raw, line, col, err := p.rawValue()
+			if err != nil {
+				return err
+			}
+			if r, isRange, rerr := tryRange(raw, line, col); isRange {
+				if rerr != nil {
+					return rerr
+				}
+				e.Workload.Users = r
+				e.Workload.UsersExpr = ""
+				continue
+			}
+			prog, err := compileClauseExpr(raw, line, col, expr.Float, "users")
+			if err != nil {
+				return err
+			}
+			e.Workload.UsersExpr = prog.Source()
+			continue
+		}
 		key, err := p.expectIdent()
 		if err != nil {
 			return err
 		}
 		switch key {
-		case "users":
-			r, err := p.rangeOrValue()
-			if err != nil {
-				return err
-			}
-			e.Workload.Users = r
 		case "writeratio":
 			r, err := p.rangeOrValue()
 			if err != nil {
@@ -495,7 +645,7 @@ func (p *parser) parseWorkload(e *Experiment) error {
 			}
 			e.Workload.TimeoutSec = v
 		default:
-			return p.errf("unknown workload key %q", key)
+			return p.errLast("unknown workload key %q", key)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return err
@@ -509,9 +659,15 @@ func (p *parser) parseTrial(e *Experiment) error {
 		return err
 	}
 	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		keyTok := p.tok
 		key, err := p.expectIdent()
 		if err != nil {
 			return err
+		}
+		switch key {
+		case "warmup", "run", "cooldown":
+		default:
+			return errTok(keyTok, "unknown trial key %q", key)
 		}
 		v, err := p.duration()
 		if err != nil {
@@ -524,8 +680,6 @@ func (p *parser) parseTrial(e *Experiment) error {
 			e.Trial.RunSec = v
 		case "cooldown":
 			e.Trial.CooldownSec = v
-		default:
-			return p.errf("unknown trial key %q", key)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return err
@@ -539,9 +693,32 @@ func (p *parser) parseSLO(e *Experiment) error {
 		return err
 	}
 	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		// assert carries an expression: capture its raw span before the
+		// TBL lexer can trip over expression-only characters.
+		if p.tok.kind == tIdent && p.tok.text == "assert" {
+			if e.SLO.AssertExpr != "" {
+				return p.errf("slo already has an assert (combine predicates with &&)")
+			}
+			raw, line, col, err := p.rawValue()
+			if err != nil {
+				return err
+			}
+			prog, err := compileClauseExpr(raw, line, col, expr.Bool, "assert")
+			if err != nil {
+				return err
+			}
+			e.SLO.AssertExpr = prog.Source()
+			continue
+		}
+		keyTok := p.tok
 		key, err := p.expectIdent()
 		if err != nil {
 			return err
+		}
+		switch key {
+		case "avg", "p90", "p99":
+		default:
+			return errTok(keyTok, "unknown slo key %q", key)
 		}
 		v, err := p.millis()
 		if err != nil {
@@ -554,8 +731,6 @@ func (p *parser) parseSLO(e *Experiment) error {
 			e.SLO.P90MS = v
 		case "p99":
 			e.SLO.P99MS = v
-		default:
-			return p.errf("unknown slo key %q", key)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return err
@@ -596,7 +771,7 @@ func (p *parser) parseMonitor(e *Experiment) error {
 				break
 			}
 		default:
-			return p.errf("unknown monitor key %q", key)
+			return p.errLast("unknown monitor key %q", key)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return err
@@ -659,7 +834,7 @@ func (p *parser) parseFaults(e *Experiment) error {
 				return err
 			}
 		default:
-			return p.errf("unknown fault kind %q", kw)
+			return p.errLast("unknown fault kind %q", kw)
 		}
 		if kw != "at" {
 			return p.errf("fault needs 'at', found %q", kw)
@@ -681,6 +856,22 @@ func (p *parser) parseFaults(e *Experiment) error {
 				return p.errf("errorburst faults target the client driver; write 'client errorburst', not %q", f.Role)
 			}
 			f.Role = ""
+		}
+		// Optional conditional guard: `... for 30s when util(app, cpu) > 0.8;`
+		// arms the window only once the predicate has held in an observed
+		// measurement window.
+		if p.tok.kind == tIdent && p.tok.text == "when" {
+			raw, line, col, err := p.rawValue()
+			if err != nil {
+				return err
+			}
+			prog, err := compileClauseExpr(raw, line, col, expr.Bool, "when")
+			if err != nil {
+				return err
+			}
+			f.WhenExpr = prog.Source()
+			e.Faults = append(e.Faults, f)
+			continue
 		}
 		e.Faults = append(e.Faults, f)
 		if err := p.expectPunct(";"); err != nil {
@@ -714,7 +905,7 @@ func (p *parser) parseDemands(e *Experiment) error {
 		switch tier {
 		case "web", "app", "db":
 		default:
-			return p.errf("demands names unknown tier %q", tier)
+			return p.errLast("demands names unknown tier %q", tier)
 		}
 		if err := p.expectPunct("{"); err != nil {
 			return err
@@ -739,7 +930,7 @@ func (p *parser) parseDemands(e *Experiment) error {
 					return err
 				}
 			default:
-				return p.errf("unknown demand key %q", key)
+				return p.errLast("unknown demand key %q", key)
 			}
 			if err := p.expectPunct(";"); err != nil {
 				return err
@@ -793,7 +984,7 @@ func (p *parser) parseScaling(e *Experiment) error {
 			}
 			e.Scaling.Engine = v
 		default:
-			return p.errf("unknown scaling key %q", key)
+			return p.errLast("unknown scaling key %q", key)
 		}
 		if err := p.expectPunct(";"); err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"elba/internal/expr"
 	"elba/internal/fault"
 )
 
@@ -113,12 +114,37 @@ func Validate(e *Experiment) error {
 				e.Name, t)
 		}
 	}
-	if e.Workload.Users.Lo < 1 {
-		return fmt.Errorf("tbl: experiment %q: workload needs at least one user", e.Name)
+	if e.Workload.UsersExpr != "" {
+		prog, err := expr.Compile(e.Workload.UsersExpr)
+		if err != nil {
+			return fmt.Errorf("tbl: experiment %q: users expression: %v", e.Name, err)
+		}
+		if prog.Kind() != expr.Float {
+			return fmt.Errorf("tbl: experiment %q: users expression must be float, got %s",
+				e.Name, prog.Kind())
+		}
+		if v := prog.Eval(&expr.Env{}); !(v >= 1) {
+			return fmt.Errorf("tbl: experiment %q: users expression starts at %g users at t=0 (needs at least 1)",
+				e.Name, v)
+		}
+	} else {
+		if e.Workload.Users.Lo < 1 {
+			return fmt.Errorf("tbl: experiment %q: workload needs at least one user", e.Name)
+		}
+		if n := rangePoints(e.Workload.Users); n > maxRangePoints {
+			return fmt.Errorf("tbl: experiment %q: users sweep expands to %.0f points (max %d)",
+				e.Name, n, maxRangePoints)
+		}
 	}
-	if n := rangePoints(e.Workload.Users); n > maxRangePoints {
-		return fmt.Errorf("tbl: experiment %q: users sweep expands to %.0f points (max %d)",
-			e.Name, n, maxRangePoints)
+	if e.SLO.AssertExpr != "" {
+		prog, err := expr.Compile(e.SLO.AssertExpr)
+		if err != nil {
+			return fmt.Errorf("tbl: experiment %q: slo assert: %v", e.Name, err)
+		}
+		if prog.Kind() != expr.Bool {
+			return fmt.Errorf("tbl: experiment %q: slo assert must be bool, got %s",
+				e.Name, prog.Kind())
+		}
 	}
 	wr := e.Workload.WriteRatioPct
 	if wr.Lo < 0 || wr.Hi > 90 {
@@ -216,6 +242,16 @@ func Validate(e *Experiment) error {
 		}
 		if f.AtSec+f.DurationSec > e.Trial.RunSec {
 			return fmt.Errorf("tbl: experiment %q: fault on %s extends past the run period", e.Name, target)
+		}
+		if f.WhenExpr != "" {
+			prog, err := expr.Compile(f.WhenExpr)
+			if err != nil {
+				return fmt.Errorf("tbl: experiment %q: fault when-guard: %v", e.Name, err)
+			}
+			if prog.Kind() != expr.Bool {
+				return fmt.Errorf("tbl: experiment %q: fault when-guard must be bool, got %s",
+					e.Name, prog.Kind())
+			}
 		}
 	}
 	if e.FaultProfile != "" {

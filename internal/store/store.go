@@ -99,6 +99,21 @@ type Result struct {
 	// InjectedErrors counts requests failed by error bursts during the
 	// measurement window.
 	InjectedErrors int64 `json:"injected_errors,omitempty"`
+	// SLO-assert bookkeeping. All fields are zero/empty when the spec
+	// declares no assert expression, so expression-free serializations
+	// stay byte-identical to historical output.
+
+	// SLOAssert is the canonical source of the spec's assert expression.
+	SLOAssert string `json:"slo_assert,omitempty"`
+	// SLOWindows counts the measurement windows the assert was evaluated
+	// in (one per monitor interval across the run period).
+	SLOWindows int `json:"slo_windows,omitempty"`
+	// SLOViolations counts windows whose assert evaluated false.
+	SLOViolations int `json:"slo_violations,omitempty"`
+	// SLOViolatedAt lists the violating windows' start times, in protocol
+	// seconds from the run period's start (time-scale–invariant).
+	SLOViolatedAt []float64 `json:"slo_violated_at,omitempty"`
+
 	// DeployRetries counts deployment-step retries during run.sh.
 	DeployRetries int `json:"deploy_retries,omitempty"`
 	// DeploySeconds is simulated time lost to deploy timeouts/backoffs.
