@@ -46,6 +46,7 @@ func run(args []string) error {
 	traceExemplars := fs.Int("traceexemplars", 3, "slowest traces persisted in full per traced trial")
 	traceOut := fs.String("traceout", "", "write exemplar traces as Chrome trace-event JSON to this file (requires -trace)")
 	resources := fs.Bool("resources", false, "render the per-tier resource-utilization table per configuration")
+	policies := fs.Bool("policies", false, "render the autoscaling timeline table per experiment with scale events")
 	scaling := fs.String("scaling", "", "override the trial engine: des, fluid, or auto (empty = per-spec scaling clause)")
 	scalingThreshold := fs.Int("scalingthreshold", 0, "population at which -scaling auto switches to the fluid engine")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
@@ -161,6 +162,20 @@ func run(args []string) error {
 		if len(asserted) > 0 {
 			fmt.Println()
 			fmt.Print(report.TableSLO(c.Results(), e.Name))
+		}
+	}
+
+	// Render the autoscaling timeline for every experiment whose trials
+	// recorded policy firings.
+	if *policies {
+		for _, e := range doc.Experiments {
+			scaled := c.Results().Filter(func(r store.Result) bool {
+				return r.Key.Experiment == e.Name && len(r.ScaleEvents) > 0
+			})
+			if len(scaled) > 0 {
+				fmt.Println()
+				fmt.Print(report.TableScaling(c.Results(), e.Name))
+			}
 		}
 	}
 

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"elba/internal/store"
+)
+
+// autoscaleTBL loads specs/rubbos-autoscale.tbl — the shipped §V.A
+// autoscaling scenario: a 500-user surge over a CPU-inflated app tier,
+// a scale-out policy that adds two servers per 30 s cooldown above 80%
+// utilization, and a scale-in policy that drains two per 60 s cooldown
+// below 30%. The spec file is the contract under test so the walkthrough
+// in EXPERIMENTS.md exercises exactly what CI pins.
+func autoscaleTBL(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("../../specs/rubbos-autoscale.tbl")
+	if err != nil {
+		t.Fatalf("load autoscale spec: %v", err)
+	}
+	return string(data)
+}
+
+func autoscaleResult(t *testing.T, c *Characterizer) store.Result {
+	t.Helper()
+	r, ok := c.Results().Get(store.Key{Experiment: "rubbos-autoscale", Topology: "1-2-1",
+		Users: 120, WriteRatioPct: 15})
+	if !ok {
+		t.Fatal("autoscale result missing (grid should collapse to the t=0 population)")
+	}
+	if !r.Completed {
+		t.Fatalf("autoscale trial failed: %s", r.FailReason)
+	}
+	return r
+}
+
+// TestAutoscaleCrossEngineAgreement runs the shipped autoscale spec
+// through the exact DES and the fluid approximation and demands the
+// same scaling story from both: the identical sequence of transitions
+// (tier, from, to) and per-event firing times within one 5 s
+// observation window of each other. Both engines watch the same
+// protocol-time window cadence, so a policy whose threshold crossing is
+// decisive must fire in the same (or at worst adjacent) window
+// regardless of how the window statistics were produced.
+func TestAutoscaleCrossEngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES run in -short mode")
+	}
+	tbl := autoscaleTBL(t)
+	des, fluid := runBothEngines(t, tbl)
+	dr := autoscaleResult(t, des)
+	fr := autoscaleResult(t, fluid)
+
+	if len(dr.ScaleEvents) == 0 {
+		t.Fatal("DES recorded no scale events; the surge must trigger the policies")
+	}
+	if len(dr.ScaleEvents) != len(fr.ScaleEvents) {
+		t.Fatalf("event counts diverge: DES %v vs fluid %v", dr.ScaleEvents, fr.ScaleEvents)
+	}
+	const windowSec = 5.0
+	for i := range dr.ScaleEvents {
+		de, fe := dr.ScaleEvents[i], fr.ScaleEvents[i]
+		if de.Tier != fe.Tier || de.From != fe.From || de.To != fe.To {
+			t.Errorf("event %d transitions diverge: DES %v vs fluid %v", i, de, fe)
+		}
+		diff := de.TSec - fe.TSec
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > windowSec {
+			t.Errorf("event %d fired %gs apart (DES %v vs fluid %v), want within one %gs window",
+				i, diff, de, fe, windowSec)
+		}
+	}
+
+	// The scaling story itself: out-fires land in the surge (the first
+	// at the utilization crossing, the rest paced by the 30s cooldown),
+	// in-fires in the post-surge drain, and the fleet returns to the
+	// deployed baseline of two app servers.
+	var out, in []store.ScaleEvent
+	for _, ev := range dr.ScaleEvents {
+		if ev.Tier != "app" {
+			t.Errorf("event scales tier %q, spec only scales app", ev.Tier)
+		}
+		if ev.To > ev.From {
+			out = append(out, ev)
+		} else {
+			in = append(in, ev)
+		}
+	}
+	if len(out) < 2 || len(in) < 2 {
+		t.Fatalf("want ≥2 scale-outs and ≥2 scale-ins, got %v", dr.ScaleEvents)
+	}
+	if first := out[0]; first.TSec < 100 || first.TSec > 160 {
+		t.Errorf("first scale-out at %gs, want inside the surge onset [100s, 160s]", first.TSec)
+	}
+	if gap := out[1].TSec - out[0].TSec; gap < 30 {
+		t.Errorf("scale-outs %gs apart, cooldown demands ≥30s", gap)
+	}
+	if first := in[0]; first.TSec < 400 {
+		t.Errorf("first scale-in at %gs, want after the surge recedes at 400s", first.TSec)
+	}
+	if gap := in[1].TSec - in[0].TSec; gap < 60 {
+		t.Errorf("scale-ins %gs apart, cooldown demands ≥60s", gap)
+	}
+	if last := dr.ScaleEvents[len(dr.ScaleEvents)-1]; last.To != 2 {
+		t.Errorf("fleet settles at %d app servers, want back at the deployed 2", last.To)
+	}
+}
+
+// TestAutoscaleDeterminism re-runs the autoscale spec under the same
+// engine and demands bit-identical scale-event timelines: policy
+// actuation (allocation from the spare pool, station retirement,
+// round-robin rebalance) must not introduce any run-to-run
+// nondeterminism.
+func TestAutoscaleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES run in -short mode")
+	}
+	tbl := autoscaleTBL(t)
+	var runs [2][]store.ScaleEvent
+	for i := range runs {
+		c := fastCharacterizer(t)
+		if err := c.RunTBL(tbl); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		runs[i] = autoscaleResult(t, c).ScaleEvents
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Errorf("DES scale events differ across runs:\n  %v\n  %v", runs[0], runs[1])
+	}
+}

@@ -97,3 +97,43 @@ func TestSLOCrossEngineCalm(t *testing.T) {
 			dr.SLOViolations, fr.SLOViolations)
 	}
 }
+
+// TestGoodputCrossEngineAgreement pins x() as one cross-engine quantity:
+// goodput, successful in-deadline completions per second. The DES counts
+// its OK, non-timed-out records; the fluid engine's window Requests
+// already exclude rejections and timeouts. A goodput floor bisecting the
+// surge (above the 100-user baseline, below the saturated 500-user
+// plateau) must therefore tell the same story under both engines:
+// violations from the first window, none after the surge settles, and
+// totals within the same few-window tolerance the SLO battery uses.
+func TestGoodputCrossEngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DES run in -short mode")
+	}
+	tbl := sloSurgeTBL("x() > 50")
+	des, fluid := runBothEngines(t, tbl)
+	dr := sloSurgeResult(t, des)
+	fr := sloSurgeResult(t, fluid)
+	if dr.SLOWindows != 120 || fr.SLOWindows != 120 {
+		t.Fatalf("window counts: DES %d, fluid %d, want 120 each", dr.SLOWindows, fr.SLOWindows)
+	}
+	for name, r := range map[string]store.Result{"DES": dr, "fluid": fr} {
+		if r.SLOViolations == 0 || r.SLOViolations == 120 {
+			t.Fatalf("%s: %d/120 violations — the floor must bisect the surge", name, r.SLOViolations)
+		}
+		if first := r.SLOViolatedAt[0]; first != 0 {
+			t.Errorf("%s: first violation at %gs, want the 100-user opening window", name, first)
+		}
+		if last := r.SLOViolatedAt[len(r.SLOViolatedAt)-1]; last > 350 {
+			t.Errorf("%s: goodput still below floor at %gs, want recovery once the surge settles", name, last)
+		}
+	}
+	diff := dr.SLOViolations - fr.SLOViolations
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 6 {
+		t.Errorf("goodput violation totals diverge: DES %d vs fluid %d (>6 windows apart)",
+			dr.SLOViolations, fr.SLOViolations)
+	}
+}

@@ -24,18 +24,35 @@ const maxDynamicUsers = 1_000_000
 // windowed signals the paper's analysis pipeline reads, so the hooks are
 // a pure function of (window observations, t) and preserve determinism.
 type exprHooks struct {
-	users  *expr.Program
-	assert *expr.Program
-	guards []*whenGuard
+	users    *expr.Program
+	assert   *expr.Program
+	guards   []*whenGuard
+	policies []*policyState
 
 	warm, run float64 // scaled phase bounds
 	windowSec float64 // scaled observation window width
 	ts        float64
 	capUsers  int // session-capacity clamp for dynamic populations (0 = none)
 
+	// actuator applies policy firings to the running engine. Set by the
+	// trial before the first window when the spec declares policies.
+	actuator scaleActuator
+
 	sloWindows    int
 	sloViolations int
 	sloViolatedAt []float64 // protocol seconds, window start
+	scaleEvents   []store.ScaleEvent
+}
+
+// policyState is one autoscaling policy's compiled predicate plus its
+// cooldown latch. The latch advances only on an actual firing: a window
+// whose predicate holds but whose target is already reached (at the max,
+// at the floor, or spare pool exhausted) does not consume the cooldown.
+type policyState struct {
+	pol  spec.Policy
+	prog *expr.Program
+	tier int
+	last float64 // protocol seconds of the last firing; -inf = never
 }
 
 // whenGuard is one conditional fault trigger. The fault arms at its
@@ -84,21 +101,82 @@ func newExprHooks(e *spec.Experiment, warm, run, ts, windowSec float64, capUsers
 		}
 		h.guards = append(h.guards, &whenGuard{ev: ev, prog: prog, armAt: warm + ev.AtSec*ts})
 	}
-	if h.users == nil && h.assert == nil && len(h.guards) == 0 {
+	for _, pol := range e.Policies {
+		prog, err := expr.Compile(pol.WhenExpr)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: policy predicate: %v", err)
+		}
+		ti, ok := expr.TierIndex(pol.Tier)
+		if !ok {
+			return nil, fmt.Errorf("experiment: policy names unknown tier %q", pol.Tier)
+		}
+		h.policies = append(h.policies, &policyState{
+			pol: pol, prog: prog, tier: ti, last: math.Inf(-1),
+		})
+	}
+	if h.users == nil && h.assert == nil && len(h.guards) == 0 && len(h.policies) == 0 {
 		return nil, nil
 	}
 	return h, nil
 }
 
+// applyPolicies evaluates the autoscaling policies against the window
+// that just closed, in declaration order. A policy fires when its
+// predicate holds, its cooldown has elapsed, and its bound leaves room
+// to move; firing updates env.Replicas so later policies at the same
+// boundary (and nothing else — the window's other signals are already
+// observed) see the new count. Times are protocol seconds, so cooldowns
+// are time-scale–invariant like every other spec duration.
+func (h *exprHooks) applyPolicies(env *expr.Env) {
+	if h.actuator == nil {
+		return
+	}
+	for _, ps := range h.policies {
+		if env.T-ps.last < ps.pol.CooldownSec-1e-9 {
+			continue
+		}
+		if !ps.prog.EvalBool(env) {
+			continue
+		}
+		cur := h.actuator.Replicas(ps.tier)
+		target := cur
+		if ps.pol.In {
+			if target = cur - ps.pol.Delta; target < ps.pol.Min {
+				target = ps.pol.Min
+			}
+		} else {
+			if target = cur + ps.pol.Delta; target > ps.pol.Max {
+				target = ps.pol.Max
+			}
+		}
+		if target == cur {
+			continue
+		}
+		got := h.actuator.Scale(ps.tier, target)
+		if got == cur {
+			continue
+		}
+		ps.last = env.T
+		h.scaleEvents = append(h.scaleEvents, store.ScaleEvent{
+			TSec: env.T, Tier: ps.pol.Tier, From: cur, To: got,
+		})
+		env.Replicas[ps.tier] = float64(got)
+	}
+}
+
 // initialUsers evaluates the workload's users expression at the start of
 // the run period (t = 0, no observations yet) — the population a trial of
 // a dynamic-workload spec starts with, and the spec's grid coordinate.
-func initialUsers(e *spec.Experiment) (int, error) {
+// capUsers is the deployment's session capacity (0 = unknown): the start
+// population honours the same clamp every mid-run retarget applies, so a
+// dynamic trial cannot begin above the cap AddUsers documents as the
+// caller's job to respect.
+func initialUsers(e *spec.Experiment, capUsers int) (int, error) {
 	prog, err := expr.Compile(e.Workload.UsersExpr)
 	if err != nil {
 		return 0, fmt.Errorf("experiment: users expression: %v", err)
 	}
-	return clampUsers(prog.Eval(&expr.Env{}), 0), nil
+	return clampUsers(prog.Eval(&expr.Env{}), capUsers), nil
 }
 
 // clampUsers rounds an evaluated population into [1, maxDynamicUsers],
@@ -146,17 +224,17 @@ func (g *whenGuard) shouldFire(env *expr.Env, now float64) bool {
 	return false
 }
 
-// record writes the trial's SLO account into the stored result. All
-// fields are omitempty, so results of assert-free specs stay
-// byte-identical to historical output.
+// record writes the trial's SLO account and scaling timeline into the
+// stored result. All fields are omitempty, so results of assert-free,
+// policy-free specs stay byte-identical to historical output.
 func (h *exprHooks) record(res *store.Result) {
-	if h.assert == nil {
-		return
+	if h.assert != nil {
+		res.SLOAssert = h.assert.Source()
+		res.SLOWindows = h.sloWindows
+		res.SLOViolations = h.sloViolations
+		res.SLOViolatedAt = h.sloViolatedAt
 	}
-	res.SLOAssert = h.assert.Source()
-	res.SLOWindows = h.sloWindows
-	res.SLOViolations = h.sloViolations
-	res.SLOViolatedAt = h.sloViolatedAt
+	res.ScaleEvents = h.scaleEvents
 }
 
 // --- DES side ---------------------------------------------------------
@@ -164,14 +242,32 @@ func (h *exprHooks) record(res *store.Result) {
 // desObserver builds per-window expression environments from the DES's
 // own measured signals: the driver's request log for throughput and
 // response-time quantiles, and the stations' busy-time integrals for
-// utilization — the same counters the monitor samples.
+// utilization — the same counters the monitor samples. Station lists are
+// re-read from the live tiers every window, so an autoscaling policy's
+// replica-set changes are visible to the very next observation.
 type desObserver struct {
 	driver   *sim.Driver
-	tiers    [expr.NumTiers][]*sim.Station
+	nt       *sim.NTier
 	prevIdx  int
 	prevBusy [expr.NumTiers][expr.NumResources]float64
 	prevTime float64
-	rts      []float64 // scratch, reused across windows
+	rts      []float64  // scratch, reused across windows
+	lastQ    [3]float64 // last non-empty window's p50/p90/p99
+}
+
+// stations reports a tier's active and retired station lists. Retired
+// stations keep contributing to the cumulative busy numerator (their
+// drain work happened, and dropping them would step the sums backwards);
+// only active stations count toward the capacity denominator.
+func (o *desObserver) stations(ti int) (active, retired []*sim.Station) {
+	switch ti {
+	case expr.TierWeb:
+		return o.nt.Web.Stations(), o.nt.Web.Retired()
+	case expr.TierApp:
+		return o.nt.App.Stations(), o.nt.App.Retired()
+	default:
+		return o.nt.DB.Replicas(), o.nt.DB.Retired()
+	}
 }
 
 // observe closes the window [prevTime, now] and returns its environment.
@@ -187,16 +283,30 @@ func (o *desObserver) observe(now, warm, ts float64) expr.Env {
 	}
 	o.prevIdx = len(recs)
 	if dt > 0 {
+		// x() is goodput: successful, in-deadline completions per second.
+		// Errored and timed-out requests burn capacity but deliver nothing,
+		// so an SLO on x() sees an error burst as the throughput loss it is.
 		env.X = float64(len(o.rts)) / dt
 	}
-	sort.Float64s(o.rts)
-	env.P50 = quantileSorted(o.rts, 0.50)
-	env.P90 = quantileSorted(o.rts, 0.90)
-	env.P99 = quantileSorted(o.rts, 0.99)
-	for ti := range o.tiers {
+	if len(o.rts) == 0 {
+		// An empty window is a stall, not perfection: carry the last
+		// non-empty window's quantiles forward so a latency assert keeps
+		// judging the last observed behaviour instead of trivially passing
+		// on zeros. Before first traffic the carried values are still zero,
+		// preserving historical warm-start behaviour.
+		env.P50, env.P90, env.P99 = o.lastQ[0], o.lastQ[1], o.lastQ[2]
+	} else {
+		sort.Float64s(o.rts)
+		env.P50 = quantileSorted(o.rts, 0.50)
+		env.P90 = quantileSorted(o.rts, 0.90)
+		env.P99 = quantileSorted(o.rts, 0.99)
+		o.lastQ = [3]float64{env.P50, env.P90, env.P99}
+	}
+	for ti := 0; ti < expr.NumTiers; ti++ {
+		active, retired := o.stations(ti)
 		var busy [expr.NumResources]float64
 		var servers, disks, nets float64
-		for _, st := range o.tiers[ti] {
+		for _, st := range active {
 			busy[expr.ResCPU] += st.BusyTime()
 			servers += float64(st.Servers())
 			if d := st.Disk(); d != nil {
@@ -206,6 +316,15 @@ func (o *desObserver) observe(now, warm, ts float64) expr.Env {
 			if n := st.Net(); n != nil {
 				busy[expr.ResNet] += n.BusyTime()
 				nets++
+			}
+		}
+		for _, st := range retired {
+			busy[expr.ResCPU] += st.BusyTime()
+			if d := st.Disk(); d != nil {
+				busy[expr.ResDisk] += d.BusyTime()
+			}
+			if n := st.Net(); n != nil {
+				busy[expr.ResNet] += n.BusyTime()
 			}
 		}
 		if dt > 0 {
@@ -220,6 +339,7 @@ func (o *desObserver) observe(now, warm, ts float64) expr.Env {
 			}
 		}
 		o.prevBusy[ti] = busy
+		env.Replicas[ti] = float64(len(active))
 	}
 	o.prevTime = now
 	return env
@@ -255,10 +375,7 @@ func quantileSorted(xs []float64, q float64) float64 {
 func (h *exprHooks) armDES(k *sim.Kernel, driver *sim.Driver, nt *sim.NTier,
 	stationOf map[string]*sim.Station, users0 int) {
 
-	obs := &desObserver{driver: driver, prevTime: k.Now()}
-	obs.tiers[expr.TierWeb] = nt.Web.Stations()
-	obs.tiers[expr.TierApp] = nt.App.Stations()
-	obs.tiers[expr.TierDB] = nt.DB.Replicas()
+	obs := &desObserver{driver: driver, nt: nt, prevTime: k.Now()}
 
 	target := users0
 	end := h.warm + h.run
@@ -287,6 +404,7 @@ func (h *exprHooks) armDES(k *sim.Kernel, driver *sim.Driver, nt *sim.NTier,
 			}
 			target = want
 		}
+		h.applyPolicies(&env)
 		if rem := end - now; rem > 1e-9 {
 			if rem > h.windowSec {
 				rem = h.windowSec
@@ -310,17 +428,27 @@ type fluidObserver struct {
 	solver   *fluid.Solver
 	prevSnap fluid.Snapshot
 	prevBusy [expr.NumTiers][expr.NumResources]float64
+	lastQ    [3]float64 // last non-empty window's p50/p90/p99
 }
 
 func (o *fluidObserver) observe(warm, ts float64) expr.Env {
 	cur := o.solver.Snapshot()
 	st := o.solver.StatsBetween(o.prevSnap, cur)
-	env := expr.Env{
-		T:   (cur.Time - warm) / ts,
-		X:   st.ThroughputRPS,
-		P50: st.P50ms / 1000,
-		P90: st.P90ms / 1000,
-		P99: st.P99ms / 1000,
+	env := expr.Env{T: (cur.Time - warm) / ts}
+	if st.DurationSec > 0 {
+		// x() is goodput — successful, in-deadline completions per
+		// second — the same definition the DES observer applies to its
+		// OK, non-timed-out records, so a cross-engine x() assert reads
+		// one quantity.
+		env.X = st.Requests / st.DurationSec
+	}
+	if st.Requests > 1e-9 {
+		env.P50, env.P90, env.P99 = st.P50ms/1000, st.P90ms/1000, st.P99ms/1000
+		o.lastQ = [3]float64{env.P50, env.P90, env.P99}
+	} else {
+		// Empty window: carry the last non-empty window's quantiles
+		// forward, mirroring the DES observer's stall semantics.
+		env.P50, env.P90, env.P99 = o.lastQ[0], o.lastQ[1], o.lastQ[2]
 	}
 	dt := cur.Time - o.prevSnap.Time
 	for ti := 0; ti < expr.NumTiers; ti++ {
@@ -338,6 +466,7 @@ func (o *fluidObserver) observe(warm, ts float64) expr.Env {
 			env.Util[ti][expr.ResNet] = (busy[expr.ResNet] - o.prevBusy[ti][expr.ResNet]) / dt
 		}
 		o.prevBusy[ti] = busy
+		env.Replicas[ti] = float64(o.solver.TierNodes(ti))
 	}
 	o.prevSnap = cur
 	return env
@@ -376,6 +505,7 @@ func (h *exprHooks) runFluidWindows(k *sim.Kernel, solver *fluid.Solver, users0 
 				target = want
 			}
 		}
+		h.applyPolicies(&env)
 		now = next
 	}
 }

@@ -310,7 +310,7 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 	// then evolves inside the trial at the observation cadence.
 	usersVals := e.Workload.Users.Values()
 	if e.Workload.UsersExpr != "" {
-		u0, uerr := initialUsers(e)
+		u0, uerr := initialUsers(e, sessionCapacity(d, placement))
 		if uerr != nil {
 			return uerr
 		}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"testing"
+
+	"elba/internal/store"
+)
+
+// stallClauses is the shared scenario for the empty-window regressions: a
+// steady population whose only database crashes from 100 s to 150 s into
+// the run, so ten 5-second observation windows complete nothing — every
+// request fails fast and the OK record stream goes silent.
+const stallClauses = `
+	topology { web 1; app 1; db 1; }
+	workload { users 100; writeratio 15; }
+	faults   { MYSQL1 at 100s for 50s; }`
+
+func oneResult(t *testing.T, st *store.Store) store.Result {
+	t.Helper()
+	rs := st.Filter(func(store.Result) bool { return true })
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	return rs[0]
+}
+
+// TestEmptyWindowCarriesQuantiles is the stall regression: an observation
+// window with no completions must carry the last non-empty window's
+// response-time quantiles forward instead of reporting zeros. A latency
+// floor assert (p90 over a served window is always positive) would
+// trivially pass on zeros, so with the carry in place the ten crashed
+// windows judge the last observed behaviour and the whole run stays
+// violation-free.
+func TestEmptyWindowCarriesQuantiles(t *testing.T) {
+	st := exprExperiment(t, "stall-carry", stallClauses+`
+		slo { assert p90(rt) > 0s; }`)
+	r := oneResult(t, st)
+	if r.SLOWindows != 60 {
+		t.Fatalf("SLOWindows = %d, want 60", r.SLOWindows)
+	}
+	if r.SLOViolations != 0 {
+		t.Fatalf("carried quantiles must keep p90(rt) > 0 through the stall; violated %d windows at %v",
+			r.SLOViolations, r.SLOViolatedAt)
+	}
+}
+
+// TestEmptyWindowGoodputDrops is the companion proving the stall is real:
+// x() is goodput — OK, in-deadline completions per second — so the same
+// crashed windows that carry their quantiles still report (near-)zero
+// throughput, and a goodput floor flags exactly the crash span.
+func TestEmptyWindowGoodputDrops(t *testing.T) {
+	st := exprExperiment(t, "stall-goodput", stallClauses+`
+		slo { assert x() > 2; }`)
+	r := oneResult(t, st)
+	if r.SLOViolations == 0 {
+		t.Fatal("crashed windows reported healthy goodput")
+	}
+	if r.SLOViolations > 12 {
+		t.Fatalf("goodput floor violated %d windows, want ≈10 (the crash span)", r.SLOViolations)
+	}
+	first := r.SLOViolatedAt[0]
+	last := r.SLOViolatedAt[len(r.SLOViolatedAt)-1]
+	if first < 95 || first > 110 {
+		t.Errorf("first goodput violation at %gs, want at the 100s crash", first)
+	}
+	if last < 140 || last > 155 {
+		t.Errorf("last goodput violation at %gs, want at the 150s recovery", last)
+	}
+}
+
+// TestErrorBurstGoodput pins the error-side of the goodput definition: a
+// client error burst fails 95% of requests without stopping any station,
+// so utilization-style signals barely move while x() collapses — an SLO
+// on x() sees the burst as the throughput loss it is, for exactly the
+// burst windows.
+func TestErrorBurstGoodput(t *testing.T) {
+	st := exprExperiment(t, "burst-goodput", `
+		topology { web 1; app 1; db 1; }
+		workload { users 100; writeratio 15; }
+		faults   { client errorburst 0.95 at 100s for 50s; }
+		slo      { assert x() > 2; }`)
+	r := oneResult(t, st)
+	if r.InjectedErrors == 0 {
+		t.Fatal("error burst injected nothing")
+	}
+	if r.SLOViolations == 0 {
+		t.Fatal("burst windows reported healthy goodput")
+	}
+	if r.SLOViolations > 12 {
+		t.Fatalf("goodput floor violated %d windows, want ≈10 (the burst span)", r.SLOViolations)
+	}
+	first := r.SLOViolatedAt[0]
+	if first < 95 || first > 110 {
+		t.Errorf("first goodput violation at %gs, want at the 100s burst onset", first)
+	}
+}

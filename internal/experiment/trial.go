@@ -195,6 +195,13 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	if err != nil {
 		return nil, err
 	}
+	if hooks != nil && len(hooks.policies) > 0 {
+		scaler, err := newDESScaler(e, k, d, p, nt)
+		if err != nil {
+			return nil, err
+		}
+		hooks.actuator = scaler
+	}
 
 	driver.Start()
 	mon.Start()

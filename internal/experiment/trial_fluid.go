@@ -88,6 +88,9 @@ func runFluidTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement
 	if err != nil {
 		return nil, err
 	}
+	if hooks != nil && len(hooks.policies) > 0 {
+		hooks.actuator = fluidScaler{solver: solver}
+	}
 
 	// The kernel carries only the monitor's tick schedule; probes advance
 	// the solver lazily to the kernel clock, so sampling sees the fluid

@@ -183,6 +183,18 @@ func checkCall(n *Call, depth int) (Kind, error) {
 			return 0, errAt(rid.At, "unknown resource %q (want cpu, disk, or net)", rid.Name)
 		}
 		return Float, nil
+	case "replicas":
+		if len(n.Args) != 1 {
+			return 0, errAt(n.At, "replicas takes exactly one argument: replicas(tier)")
+		}
+		tid, ok := n.Args[0].(*Ident)
+		if !ok {
+			return 0, errAt(n.Args[0].Pos(), "replicas' argument names a tier: web, app, or db")
+		}
+		if _, ok := TierIndex(tid.Name); !ok {
+			return 0, errAt(tid.At, "unknown tier %q (want web, app, or db)", tid.Name)
+		}
+		return Float, nil
 	case "ramp", "sin":
 		if len(n.Args) != 1 {
 			return 0, errAt(n.At, "%s takes exactly one float argument", n.Fn)

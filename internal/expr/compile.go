@@ -18,6 +18,10 @@ type Env struct {
 	// Util is the window's mean busy fraction (0–1) per tier and
 	// resource, indexed by the TierWeb/ResCPU constant families.
 	Util [NumTiers][NumResources]float64
+	// Replicas is the current server count per tier, indexed by the
+	// TierWeb constant family. Policy predicates read it to bound
+	// scale decisions (replicas(app) < 12).
+	Replicas [NumTiers]float64
 }
 
 // opcodes. Every builtin gets a dedicated opcode: the eval loop is a
@@ -25,13 +29,14 @@ type Env struct {
 type opcode uint8
 
 const (
-	opConst opcode = iota // push consts[a]
-	opT                   // push env.T
-	opX                   // push env.X
-	opP50                 // push env.P50
-	opP90                 // push env.P90
-	opP99                 // push env.P99
-	opUtil                // push env.Util[a/NumResources][a%NumResources]
+	opConst    opcode = iota // push consts[a]
+	opT                      // push env.T
+	opX                      // push env.X
+	opP50                    // push env.P50
+	opP90                    // push env.P90
+	opP99                    // push env.P99
+	opUtil                   // push env.Util[a/NumResources][a%NumResources]
+	opReplicas               // push env.Replicas[a]
 	opAdd
 	opSub
 	opMul
@@ -231,6 +236,10 @@ func (p *Program) emitCall(n *Call) error {
 		ri, _ := ResourceIndex(n.Args[1].(*Ident).Name)
 		p.code = append(p.code, instr{op: opUtil, a: uint16(ti*NumResources + ri)})
 		return nil
+	case "replicas":
+		ti, _ := TierIndex(n.Args[0].(*Ident).Name)
+		p.code = append(p.code, instr{op: opReplicas, a: uint16(ti)})
+		return nil
 	}
 	for _, a := range n.Args {
 		if err := p.emit(a); err != nil {
@@ -259,7 +268,7 @@ func (p *Program) stackNeed() int {
 	depth, peak := 0, 0
 	for _, in := range p.code {
 		switch in.op {
-		case opConst, opT, opX, opP50, opP90, opP99, opUtil:
+		case opConst, opT, opX, opP50, opP90, opP99, opUtil, opReplicas:
 			depth++
 		case opAdd, opSub, opMul, opDiv, opLT, opLE, opGT, opGE, opEQ, opNE, opMin, opMax:
 			depth--
@@ -353,6 +362,9 @@ func (p *Program) Eval(env *Env) float64 {
 			sp++
 		case opUtil:
 			stack[sp] = env.Util[in.a/NumResources][in.a%NumResources]
+			sp++
+		case opReplicas:
+			stack[sp] = env.Replicas[in.a]
 			sp++
 		case opAdd:
 			sp--

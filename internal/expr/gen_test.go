@@ -104,13 +104,17 @@ func (g *gen) expr(kind Kind, depth int) Expr {
 func (g *gen) leaf(kind Kind) Expr {
 	switch kind {
 	case Float:
-		switch g.r.Intn(4) {
+		switch g.r.Intn(5) {
 		case 0:
 			return &Call{Fn: "x"}
 		case 1:
 			return &Call{Fn: "util", Args: []Expr{
 				&Ident{Name: genTiers[g.r.Intn(len(genTiers))]},
 				&Ident{Name: genResources[g.r.Intn(len(genResources))]},
+			}}
+		case 2:
+			return &Call{Fn: "replicas", Args: []Expr{
+				&Ident{Name: genTiers[g.r.Intn(len(genTiers))]},
 			}}
 		default:
 			return g.lit(Float)
@@ -155,12 +159,14 @@ func genEnvs() []Env {
 			sat.Util[i][j] = 0.97
 		}
 	}
+	sat.Replicas = [NumTiers]float64{4, 12, 2}
 	mid := Env{T: 180.5, X: 151.25, P50: 0.012, P90: 0.09, P99: 0.41}
 	mid.Util = [NumTiers][NumResources]float64{
 		{0.22, 0.01, 0.08},
 		{0.55, 0.12, 0.18},
 		{0.38, 0.86, 0.05},
 	}
+	mid.Replicas = [NumTiers]float64{1, 2, 1}
 	return []Env{
 		mid,
 		{T: 0, X: 0, P50: 0, P90: 0, P99: 0},

@@ -76,6 +76,9 @@ func evalRef(e Expr, env *Env) float64 {
 			ti, _ := TierIndex(n.Args[0].(*Ident).Name)
 			ri, _ := ResourceIndex(n.Args[1].(*Ident).Name)
 			return env.Util[ti][ri]
+		case "replicas":
+			ti, _ := TierIndex(n.Args[0].(*Ident).Name)
+			return env.Replicas[ti]
 		case "ramp":
 			return rampF(evalRef(n.Args[0], env))
 		case "sin":

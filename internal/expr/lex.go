@@ -19,6 +19,7 @@ type token struct {
 	kind tokKind
 	text string
 	pos  Pos
+	off  int     // byte offset of the token's first byte in the source
 	op   Op      // valid when kind == tOp
 	val  float64 // valid when kind == tNumber: canonical value (seconds for durations)
 	unit string  // "", "s", "ms"
@@ -54,10 +55,13 @@ func (l *lexer) next() (token, error) {
 		case ' ', '\t', '\r', '\n':
 			l.bump()
 		default:
-			return l.scan()
+			off := l.pos
+			t, err := l.scan()
+			t.off = off
+			return t, err
 		}
 	}
-	return token{kind: tEOF, pos: l.at()}, nil
+	return token{kind: tEOF, pos: l.at(), off: l.pos}, nil
 }
 
 func (l *lexer) scan() (token, error) {

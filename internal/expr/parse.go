@@ -24,6 +24,26 @@ func Parse(src string) (Expr, error) {
 	return e, nil
 }
 
+// ParsePrefix reads the longest expression that is a prefix of src and
+// returns it together with the byte offset where the expression stopped
+// (len(src) when it consumed everything). Host grammars that embed an
+// expression followed by their own keywords — a policy's
+// `when EXPR cooldown 60s` — parse the expression with ParsePrefix and
+// resume their own parser at the returned offset. The Pratt loop stops
+// naturally at the first token that cannot continue the expression, such
+// as a bare keyword identifier not followed by '('.
+func ParsePrefix(src string) (Expr, int, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, 0, err
+	}
+	e, err := p.parseBinary(precOr, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, p.tok.off, nil
+}
+
 type parser struct {
 	lx  *lexer
 	tok token

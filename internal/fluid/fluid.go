@@ -128,6 +128,14 @@ type tierState struct {
 	q    float64 // jobs in the tier (queued + in service)
 	qInt float64 // ∫ q dt
 	done float64 // completions out of the tier
+
+	// Epoch baselines folded in by SetTierNodes. The per-node busy
+	// counters are derived from done via per-request factors; when a
+	// node-count change re-derives those factors, the totals accrued so
+	// far are frozen here so the counters stay continuous and monotone.
+	// All-zero baselines reproduce the historical derivation exactly.
+	cpuBusy0, diskBusy0, netBusy0, ops0 float64
+	done0                               float64
 }
 
 // classDist is one class's response-time distribution: a sum of
@@ -150,6 +158,7 @@ type Solver struct {
 	dt      float64
 	now     float64
 	ww      float64 // write fraction of the mix
+	wsum    float64 // class weight normalizer, kept for re-derivation
 	tiers   [numTiers]tierState
 	classes []classDist
 	detSvc  float64 // deterministic leg latency shared by every class
@@ -203,6 +212,7 @@ func New(cfg Config) (*Solver, error) {
 		return nil, fmt.Errorf("fluid: class weights sum to zero")
 	}
 	s.ww /= wsum
+	s.wsum = wsum
 
 	d := len(cfg.DB.Nodes)
 	for i, spec := range [...]TierSpec{cfg.Web, cfg.App, cfg.DB} {
@@ -606,6 +616,60 @@ func (s *Solver) SetSessions(n int) {
 	s.leaveDebt += leave - fromThink
 }
 
+// SetTierNodes retargets a tier's node count mid-run — the actuation
+// half of an autoscaling policy, the tier-capacity analogue of
+// SetSessions. New nodes clone the tier's first node spec (scale-out
+// allocates from a homogeneous spare pool). Derived cumulative busy
+// counters are folded into epoch baselines before the tier's constants
+// are re-derived, so NodeCPUBusy and friends stay continuous and
+// monotone across the change; queue mass and completion counters carry
+// over untouched. Scaling the database also rebuilds the class
+// distributions: the RAIDb-1 write-broadcast latency is the max over d
+// replicas, so its hypoexponential shape depends on the replica count.
+// Deterministic, like every other solver input.
+func (s *Solver) SetTierNodes(tier, n int) {
+	if n < 1 {
+		n = 1
+	}
+	spec := s.tierSpec(tier)
+	if n == len(spec.Nodes) {
+		return
+	}
+	t := &s.tiers[tier]
+	t.cpuBusy0 = s.NodeCPUBusy(tier)
+	t.diskBusy0 = s.NodeDiskBusy(tier)
+	t.netBusy0 = s.NodeNetBusy(tier)
+	t.ops0 = s.NodeOps(tier)
+	t.done0 = t.done
+	proto := spec.Nodes[0]
+	for len(spec.Nodes) < n {
+		spec.Nodes = append(spec.Nodes, proto)
+	}
+	spec.Nodes = spec.Nodes[:n]
+	d := len(s.cfg.DB.Nodes)
+	// Cannot fail: the new nodes clone a node of the already-validated
+	// configuration.
+	_ = s.deriveTier(tier, *spec, s.cfg.Classes, s.wsum, d)
+	if tier == TierDB {
+		s.classes = s.classes[:0]
+		s.deriveClasses(s.cfg.Classes, s.wsum, d)
+	}
+}
+
+// TierNodes reports a tier's current node count.
+func (s *Solver) TierNodes(tier int) int { return s.tiers[tier].nodes }
+
+func (s *Solver) tierSpec(tier int) *TierSpec {
+	switch tier {
+	case TierWeb:
+		return &s.cfg.Web
+	case TierApp:
+		return &s.cfg.App
+	default:
+		return &s.cfg.DB
+	}
+}
+
 // Advance integrates to time t: full fixed steps plus one final partial
 // step to land exactly on t. Advancing to the past is a no-op.
 func (s *Solver) Advance(t float64) {
@@ -941,29 +1005,32 @@ func (s *Solver) TierQueue(tier int) float64 { return s.tiers[tier].q }
 func (s *Solver) TierCompletions(tier int) float64 { return s.tiers[tier].done }
 
 // NodeCPUBusy reports one node's cumulative CPU busy-seconds. Nodes of a
-// tier are interchangeable, so every node reports the tier mean.
+// tier are interchangeable, so every node reports the tier mean. The
+// epoch baseline is nonzero only after SetTierNodes re-derived the
+// per-request factor mid-run.
 func (s *Solver) NodeCPUBusy(tier int) float64 {
-	return s.tiers[tier].done * s.tiers[tier].cpuWorkPerReq
+	t := &s.tiers[tier]
+	return t.cpuBusy0 + (t.done-t.done0)*t.cpuWorkPerReq
 }
 
 // NodeDiskBusy reports one node's cumulative disk busy-seconds (0 when
 // the tier declares no disk demand).
 func (s *Solver) NodeDiskBusy(tier int) float64 {
 	t := &s.tiers[tier]
-	return t.done * t.visitsPerNode * t.diskSvc
+	return t.diskBusy0 + (t.done-t.done0)*t.visitsPerNode*t.diskSvc
 }
 
 // NodeNetBusy reports one node's cumulative network busy-seconds.
 func (s *Solver) NodeNetBusy(tier int) float64 {
 	t := &s.tiers[tier]
-	return t.done * t.visitsPerNode * t.netSvc
+	return t.netBusy0 + (t.done-t.done0)*t.visitsPerNode*t.netSvc
 }
 
 // NodeOps reports one node's cumulative served operations (the fluid
 // equivalent of a station's completion counter).
 func (s *Solver) NodeOps(tier int) float64 {
 	t := &s.tiers[tier]
-	return t.done * t.visitsPerNode
+	return t.ops0 + (t.done-t.done0)*t.visitsPerNode
 }
 
 // NodeJobs reports one node's current in-flight job level.

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"elba/internal/store"
+)
+
+// TableScaling renders the autoscaling timeline: every policy firing
+// recorded during the experiment's trials, one row per scale event in
+// firing order — the paper's §V.A add-a-server decision log, taken
+// mid-run by the spec's policies clause instead of between sweeps by the
+// operator.
+func TableScaling(st *store.Store, experiment string) string {
+	rs := st.Filter(func(r store.Result) bool {
+		return r.Key.Experiment == experiment && len(r.ScaleEvents) > 0
+	})
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Key.Topology != rs[j].Key.Topology {
+			return rs[i].Key.Topology < rs[j].Key.Topology
+		}
+		if rs[i].Key.WriteRatioPct != rs[j].Key.WriteRatioPct {
+			return rs[i].Key.WriteRatioPct < rs[j].Key.WriteRatioPct
+		}
+		return rs[i].Key.Users < rs[j].Key.Users
+	})
+
+	t := NewTable(fmt.Sprintf("Scaling timeline — %s", experiment),
+		"Config (w-a-d)", "Users", "Writes", "Engine", "At", "Tier", "Replicas")
+	for _, r := range rs {
+		engine := r.Engine
+		if engine == "" {
+			engine = "des"
+		}
+		for _, ev := range r.ScaleEvents {
+			t.AddRow(r.Key.Topology, fmt.Sprint(r.Key.Users),
+				fmt.Sprintf("%g%%", r.Key.WriteRatioPct), engine,
+				fmt.Sprintf("%.0fs", ev.TSec), ev.Tier,
+				fmt.Sprintf("%d→%d", ev.From, ev.To))
+		}
+	}
+	return t.String()
+}

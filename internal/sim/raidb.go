@@ -31,6 +31,10 @@ type RAIDb struct {
 	wpool []*writeCall
 	// lpool recycles per-replica write legs used only by traced writes.
 	lpool []*writeLeg
+	// retired holds replicas removed by scale-in. In-flight reads and
+	// broadcast-write legs on a retired replica still complete (writeCall
+	// snapshots its fan-out at submit), but no new query reaches it.
+	retired []*Station
 }
 
 // NewRAIDb creates a replicated DB tier over the given replica stations.
@@ -44,8 +48,35 @@ func NewRAIDb(k *Kernel, policy BalancerPolicy, replicas []*Station) *RAIDb {
 // Replicas returns the backing stations (shared, not copied).
 func (r *RAIDb) Replicas() []*Station { return r.replicas }
 
+// Retired returns replicas removed by scale-in (shared, not copied).
+func (r *RAIDb) Retired() []*Station { return r.retired }
+
 // Size reports the number of replicas.
 func (r *RAIDb) Size() int { return len(r.replicas) }
+
+// AddReplica joins a replica to the cluster: subsequent reads rotate over
+// the grown set from the head, and subsequent writes broadcast to it.
+// Broadcasts already in flight are unaffected (they snapshotted their
+// fan-out at submit).
+func (r *RAIDb) AddReplica(s *Station) {
+	r.replicas = append(r.replicas, s)
+	r.next = 0
+}
+
+// RemoveReplica retires the most recently added replica (LIFO) and
+// returns it, or nil when the cluster is already down to one replica.
+// The retired replica drains its in-flight queries but is excluded from
+// new reads and write broadcasts.
+func (r *RAIDb) RemoveReplica() *Station {
+	if len(r.replicas) <= 1 {
+		return nil
+	}
+	s := r.replicas[len(r.replicas)-1]
+	r.replicas = r.replicas[:len(r.replicas)-1]
+	r.retired = append(r.retired, s)
+	r.next = 0
+	return s
+}
 
 func (r *RAIDb) pickRead() *Station {
 	switch r.policy {
@@ -209,10 +240,14 @@ func (r *RAIDb) writeJobTraced(demand float64, done jobDone, tr *trace.Trace) {
 	}
 }
 
-// Completed sums completed queries across replicas.
+// Completed sums completed queries across replicas, including retired
+// ones (their work happened and still counts).
 func (r *RAIDb) Completed() int64 {
 	var n int64
 	for _, s := range r.replicas {
+		n += s.Completed()
+	}
+	for _, s := range r.retired {
 		n += s.Completed()
 	}
 	return n
@@ -221,6 +256,9 @@ func (r *RAIDb) Completed() int64 {
 // ResetAccounting resets counters on every replica.
 func (r *RAIDb) ResetAccounting() {
 	for _, s := range r.replicas {
+		s.ResetAccounting()
+	}
+	for _, s := range r.retired {
 		s.ResetAccounting()
 	}
 }

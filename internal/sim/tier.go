@@ -36,6 +36,11 @@ type Tier struct {
 	stations []*Station
 	policy   BalancerPolicy
 	next     int
+	// retired holds stations removed by scale-in. They receive no new
+	// work but keep draining in-flight jobs, and their counters stay
+	// readable so cumulative busy-time and completion sums over the tier
+	// remain monotone across replica-set changes.
+	retired []*Station
 }
 
 // NewTier groups stations under a balancing policy. At least one station
@@ -53,8 +58,34 @@ func (t *Tier) Name() string { return t.name }
 // Stations returns the tier's stations (shared, not copied).
 func (t *Tier) Stations() []*Station { return t.stations }
 
+// Retired returns stations removed by scale-in (shared, not copied).
+func (t *Tier) Retired() []*Station { return t.retired }
+
 // Size reports the number of replicated stations.
 func (t *Tier) Size() int { return len(t.stations) }
+
+// AddStation joins a station to the balanced set. The round-robin cursor
+// restarts at the head so the rebalanced rotation is a deterministic
+// function of the new set, not of how much traffic preceded the change.
+func (t *Tier) AddStation(s *Station) {
+	t.stations = append(t.stations, s)
+	t.next = 0
+}
+
+// RemoveStation retires the most recently added active station (LIFO,
+// mirroring how scale-out grew the set) and returns it, or nil when the
+// tier is already down to one station. The retired station finishes its
+// in-flight jobs but is never picked again.
+func (t *Tier) RemoveStation() *Station {
+	if len(t.stations) <= 1 {
+		return nil
+	}
+	s := t.stations[len(t.stations)-1]
+	t.stations = t.stations[:len(t.stations)-1]
+	t.retired = append(t.retired, s)
+	t.next = 0
+	return s
+}
 
 // pick selects a station according to the balancing policy.
 func (t *Tier) pick() *Station {
@@ -99,10 +130,14 @@ func (t *Tier) pinned(pin int) *Station {
 	return t.stations[pin%len(t.stations)]
 }
 
-// Completed sums completed jobs across the tier's stations.
+// Completed sums completed jobs across the tier's stations, including
+// retired ones (their work happened and still counts).
 func (t *Tier) Completed() int64 {
 	var n int64
 	for _, s := range t.stations {
+		n += s.Completed()
+	}
+	for _, s := range t.retired {
 		n += s.Completed()
 	}
 	return n
@@ -114,12 +149,18 @@ func (t *Tier) Rejected() int64 {
 	for _, s := range t.stations {
 		n += s.Rejected()
 	}
+	for _, s := range t.retired {
+		n += s.Rejected()
+	}
 	return n
 }
 
 // ResetAccounting resets counters on every station in the tier.
 func (t *Tier) ResetAccounting() {
 	for _, s := range t.stations {
+		s.ResetAccounting()
+	}
+	for _, s := range t.retired {
 		s.ResetAccounting()
 	}
 }

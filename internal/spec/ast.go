@@ -214,6 +214,32 @@ func (s Scaling) EngineFor(users int) string {
 	}
 }
 
+// Policy is one autoscaling rule from the TBL `policies` clause: at every
+// observation-window boundary whose environment satisfies the predicate,
+// the tier gains (or, for `in` policies, loses) Delta servers, subject to
+// the replica bound and a per-policy cooldown. This is the actuation half
+// of the paper's §V.A scale-out strategy: observe a window, decide, add a
+// server — run as a mid-trial controller instead of a human in the loop.
+type Policy struct {
+	// Tier names the scaled tier: "web", "app", or "db".
+	Tier string
+	// In selects scale-in (remove servers); the default is scale-out.
+	In bool
+	// Delta is the number of servers added or removed per firing (≥ 1).
+	Delta int
+	// WhenExpr is the canonical boolean predicate evaluated against each
+	// observation window, e.g. "util(app, cpu) > 0.8".
+	WhenExpr string
+	// CooldownSec is the minimum protocol time between firings of this
+	// policy (0 = every window may fire).
+	CooldownSec float64
+	// Max bounds a scale-out policy's replica count (required: it sizes
+	// the spare node pool the DES allocates from).
+	Max int
+	// Min floors a scale-in policy's replica count (default 1).
+	Min int
+}
+
 // Experiment is one TBL experiment block.
 type Experiment struct {
 	// Name identifies the experiment set, e.g. "rubis-baseline-jonas".
@@ -246,6 +272,9 @@ type Experiment struct {
 	// threshold the runner switches from the exact per-session DES to the
 	// aggregated fluid approximation.
 	Scaling Scaling
+	// Policies are autoscaling rules evaluated at observation-window
+	// boundaries during every trial, in declaration order.
+	Policies []Policy
 	// Faults schedules fault windows within every trial.
 	Faults []Fault
 	// FaultProfile names a built-in random fault profile ("none", "light",
@@ -370,6 +399,28 @@ func (e *Experiment) String() string {
 		}
 		if e.Scaling.Engine != "" {
 			fmt.Fprintf(&b, " engine %s;", e.Scaling.Engine)
+		}
+		fmt.Fprintf(&b, " }\n")
+	}
+	if len(e.Policies) > 0 {
+		fmt.Fprintf(&b, "\tpolicies {")
+		for _, pol := range e.Policies {
+			if pol.In {
+				fmt.Fprintf(&b, " scale %s in by %d when %s", pol.Tier, pol.Delta, pol.WhenExpr)
+			} else {
+				fmt.Fprintf(&b, " scale %s by %d when %s", pol.Tier, pol.Delta, pol.WhenExpr)
+			}
+			if pol.CooldownSec > 0 {
+				fmt.Fprintf(&b, " cooldown %ss", trimFloat(pol.CooldownSec))
+			}
+			if pol.In {
+				if pol.Min > 0 {
+					fmt.Fprintf(&b, " min %d", pol.Min)
+				}
+			} else if pol.Max > 0 {
+				fmt.Fprintf(&b, " max %d", pol.Max)
+			}
+			b.WriteString(";")
 		}
 		fmt.Fprintf(&b, " }\n")
 	}

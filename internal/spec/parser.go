@@ -493,6 +493,8 @@ func (p *parser) parseClause(e *Experiment, key string) error {
 		return p.parseDemands(e)
 	case "scaling":
 		return p.parseScaling(e)
+	case "policies":
+		return p.parsePolicies(e)
 	case "faults":
 		return p.parseFaults(e)
 	case "seed":
@@ -989,6 +991,132 @@ func (p *parser) parseScaling(e *Experiment) error {
 		if err := p.expectPunct(";"); err != nil {
 			return err
 		}
+	}
+	return p.advance()
+}
+
+// parsePolicies reads the autoscaling stanza:
+//
+//	policies {
+//		scale app by 1 when util(app, cpu) > 0.8 cooldown 60s max 12;
+//		scale app in by 1 when util(app, cpu) < 0.3 cooldown 120s min 2;
+//	}
+//
+// The predicate span runs from `when` to the policy's own `cooldown`/
+// `max`/`min` keywords: the expression front end parses the longest
+// expression prefix (a bare `cooldown` identifier cannot continue an
+// expression), and the TBL sub-parser resumes at the returned offset —
+// so `max(...)` inside the predicate is a call while a trailing `max 12`
+// is the replica bound.
+func (p *parser) parsePolicies(e *Experiment) error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tPunct && p.tok.text == "}") {
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if kw != "scale" {
+			return p.errLast("policy needs 'scale', found %q", kw)
+		}
+		var pol Policy
+		tierTok := p.tok
+		if pol.Tier, err = p.expectIdent(); err != nil {
+			return err
+		}
+		switch pol.Tier {
+		case "web", "app", "db":
+		default:
+			return errTok(tierTok, "unknown tier %q", pol.Tier)
+		}
+		if p.tok.kind == tIdent && p.tok.text == "in" {
+			pol.In = true
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+		if kw, err = p.expectIdent(); err != nil {
+			return err
+		}
+		if kw != "by" {
+			return p.errLast("policy needs 'by', found %q", kw)
+		}
+		n, err := p.number()
+		if err != nil {
+			return err
+		}
+		if n != math.Trunc(n) || n < 1 {
+			return p.errf("policy delta %g must be a positive integer", n)
+		}
+		pol.Delta = int(n)
+		if p.tok.kind != tIdent || p.tok.text != "when" {
+			return p.errf("policy needs 'when', found %q", p.tok.text)
+		}
+		raw, line, col, err := p.rawValue()
+		if err != nil {
+			return err
+		}
+		ast, off, perr := expr.ParsePrefix(raw)
+		if perr != nil {
+			return exprErrAt(perr, line, col)
+		}
+		prog, perr := expr.CompileAST(ast)
+		if perr != nil {
+			return exprErrAt(perr, line, col)
+		}
+		if prog.Kind() != expr.Bool {
+			return fmt.Errorf("tbl: line %d:%d: policy when expression must be bool, got %s",
+				line, col, prog.Kind())
+		}
+		pol.WhenExpr = prog.Source()
+		// Resume TBL parsing on the span's remainder, seeded with the
+		// stop offset's document coordinates so errors point into the file.
+		sline, scol := line, col+off
+		if i := strings.LastIndexByte(raw[:off], '\n'); i >= 0 {
+			sline += strings.Count(raw[:off], "\n")
+			scol = off - i
+		}
+		sub := &parser{lx: &lexer{src: raw[off:], line: sline, lineStart: -(scol - 1)}}
+		if err := sub.advance(); err != nil {
+			return err
+		}
+		if sub.tok.kind == tIdent && sub.tok.text == "cooldown" {
+			if err := sub.advance(); err != nil {
+				return err
+			}
+			if pol.CooldownSec, err = sub.duration(); err != nil {
+				return err
+			}
+		}
+		if sub.tok.kind == tIdent && (sub.tok.text == "max" || sub.tok.text == "min") {
+			bound := sub.tok.text
+			if bound == "max" && pol.In {
+				return sub.errf("scale-in policies floor with 'min', not 'max'")
+			}
+			if bound == "min" && !pol.In {
+				return sub.errf("scale-out policies cap with 'max', not 'min'")
+			}
+			if err := sub.advance(); err != nil {
+				return err
+			}
+			v, err := sub.number()
+			if err != nil {
+				return err
+			}
+			if v != math.Trunc(v) || v < 1 {
+				return sub.errf("policy %s bound %g must be a positive integer", bound, v)
+			}
+			if bound == "max" {
+				pol.Max = int(v)
+			} else {
+				pol.Min = int(v)
+			}
+		}
+		if sub.tok.kind != tEOF {
+			return sub.errf("unexpected %q in policy", sub.tok.text)
+		}
+		e.Policies = append(e.Policies, pol)
 	}
 	return p.advance()
 }

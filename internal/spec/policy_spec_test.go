@@ -1,0 +1,134 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+const policyTBL = `experiment "p" {
+	benchmark rubbos;
+	platform  emulab;
+	appserver tomcat;
+	topology  { web 1; app 2; db 1; }
+	workload  { users 100; writeratio 15; }
+	policies  {
+		scale app by 1 when util(app, cpu) > 0.8 cooldown 60s max 12;
+		scale app in by 2 when util(app, cpu) < 0.3 cooldown 120s min 2;
+	}
+}`
+
+func TestParsePolicies(t *testing.T) {
+	e := parseOne(t, policyTBL)
+	if len(e.Policies) != 2 {
+		t.Fatalf("policies = %+v", e.Policies)
+	}
+	out := e.Policies[0]
+	if out.Tier != "app" || out.In || out.Delta != 1 || out.CooldownSec != 60 ||
+		out.Max != 12 || out.Min != 0 {
+		t.Fatalf("scale-out policy = %+v", out)
+	}
+	if out.WhenExpr != "util(app, cpu) > 0.8" {
+		t.Fatalf("scale-out predicate = %q", out.WhenExpr)
+	}
+	in := e.Policies[1]
+	if in.Tier != "app" || !in.In || in.Delta != 2 || in.CooldownSec != 120 ||
+		in.Min != 2 || in.Max != 0 {
+		t.Fatalf("scale-in policy = %+v", in)
+	}
+}
+
+// TestPoliciesRoundTrip pins the String fixpoint for the policies clause:
+// re-parsing a rendered experiment reproduces the same policies.
+func TestPoliciesRoundTrip(t *testing.T) {
+	e := parseOne(t, policyTBL)
+	re := parseOne(t, e.String())
+	if len(re.Policies) != 2 || re.Policies[0] != e.Policies[0] || re.Policies[1] != e.Policies[1] {
+		t.Fatalf("policies did not round trip:\n%+v\n%+v", e.Policies, re.Policies)
+	}
+	if re.String() != e.String() {
+		t.Fatalf("String not a fixpoint:\n%s\n%s", e.String(), re.String())
+	}
+}
+
+// TestPolicyScaleInDefaultsMinOne: a scale-in policy without an explicit
+// floor gets min 1 — a drain can empty every spare but never the tier.
+func TestPolicyScaleInDefaultsMinOne(t *testing.T) {
+	e := parseOne(t, `experiment "p" {
+		benchmark rubbos; platform emulab; appserver tomcat;
+		topology { web 1; app 2; db 1; }
+		workload { users 100; }
+		policies { scale app in by 1 when util(app, cpu) < 0.2; }
+	}`)
+	if e.Policies[0].Min != 1 {
+		t.Fatalf("default min = %d, want 1", e.Policies[0].Min)
+	}
+}
+
+// TestPolicyPredicateMaxIsACall pins the grammar's trickiest corner: the
+// predicate span is parsed as the longest expression prefix, so max(...)
+// with parentheses inside the predicate is the expression builtin while a
+// trailing bare `max N` is the policy's replica bound.
+func TestPolicyPredicateMaxIsACall(t *testing.T) {
+	e := parseOne(t, `experiment "p" {
+		benchmark rubbos; platform emulab; appserver tomcat;
+		topology { web 1; app 2; db 1; }
+		workload { users 100; }
+		policies { scale app by 1 when max(util(app, cpu), util(web, cpu)) > 0.8 max 4; }
+	}`)
+	pol := e.Policies[0]
+	if pol.WhenExpr != "max(util(app, cpu), util(web, cpu)) > 0.8" {
+		t.Fatalf("predicate = %q", pol.WhenExpr)
+	}
+	if pol.Max != 4 {
+		t.Fatalf("replica bound = %d, want 4", pol.Max)
+	}
+}
+
+func TestPolicyErrors(t *testing.T) {
+	mk := func(policies string) string {
+		return `experiment "p" { benchmark rubbos; platform emulab; appserver tomcat;
+			topology { web 1; app 2; db 1; }
+			workload { users 100; }
+			policies { ` + policies + ` } }`
+	}
+	cases := []struct {
+		name, policies, want string
+	}{
+		{"missing scale", `grow app by 1 when x() > 1 max 4;`, "needs 'scale'"},
+		{"unknown tier", `scale cache by 1 when x() > 1 max 4;`, "unknown tier"},
+		{"zero delta", `scale app by 0 when x() > 1 max 4;`, "delta 0 must be a positive integer"},
+		{"missing when", `scale app by 1 max 4;`, "needs 'when'"},
+		{"numeric predicate", `scale app by 1 when x() max 4;`, "must be bool"},
+		{"bad predicate", `scale app by 1 when util(app) > 0.8 max 4;`, "util"},
+		{"out with min", `scale app by 1 when x() > 1 min 2;`, "cap with 'max', not 'min'"},
+		{"in with max", `scale app in by 1 when x() < 1 max 2;`, "floor with 'min', not 'max'"},
+		{"missing max", `scale app by 1 when x() > 1;`, "needs a max replica bound"},
+		{"max below topology", `scale app by 1 when x() > 1 max 1;`, "below topology"},
+		{"junk tail", `scale app by 1 when x() > 1 max 4 surplus;`, "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(mk(c.policies))
+		if err == nil {
+			t.Errorf("%s: parse accepted %q", c.name, c.policies)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestPolicyErrorPosition checks a predicate error points into the
+// document, not into the extracted expression span.
+func TestPolicyErrorPosition(t *testing.T) {
+	_, err := Parse(`experiment "p" { benchmark rubbos; platform emulab; appserver tomcat;
+	topology { web 1; app 2; db 1; }
+	workload { users 100; }
+	policies { scale app by 1 when util(app, cpu) >> 0.8 max 4; } }`)
+	if err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not carry the document line", err)
+	}
+}

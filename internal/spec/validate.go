@@ -67,6 +67,11 @@ func applyDefaults(e *Experiment) {
 	if e.Scaling.ThresholdUsers > 0 && e.Scaling.Engine == "" {
 		e.Scaling.Engine = "auto"
 	}
+	for i := range e.Policies {
+		if e.Policies[i].In && e.Policies[i].Min == 0 {
+			e.Policies[i].Min = 1
+		}
+	}
 	if len(e.Allocate) == 0 && e.Platform == "emulab" {
 		// Paper §IV.A: the Emulab database node is the slow 600 MHz host;
 		// web and app servers run on 3 GHz nodes.
@@ -258,6 +263,59 @@ func Validate(e *Experiment) error {
 		if _, ok := fault.ProfileByName(e.FaultProfile); !ok {
 			return fmt.Errorf("tbl: experiment %q: unknown fault profile %q (have %v)",
 				e.Name, e.FaultProfile, fault.Profiles())
+		}
+	}
+	for _, pol := range e.Policies {
+		switch pol.Tier {
+		case "web", "app", "db":
+		default:
+			return fmt.Errorf("tbl: experiment %q: policy scales unknown tier %q", e.Name, pol.Tier)
+		}
+		if pol.Delta < 1 || pol.Delta > 64 {
+			return fmt.Errorf("tbl: experiment %q: policy delta %d outside 1–64", e.Name, pol.Delta)
+		}
+		if pol.WhenExpr == "" {
+			return fmt.Errorf("tbl: experiment %q: policy on %s needs a when predicate", e.Name, pol.Tier)
+		}
+		prog, err := expr.Compile(pol.WhenExpr)
+		if err != nil {
+			return fmt.Errorf("tbl: experiment %q: policy when predicate: %v", e.Name, err)
+		}
+		if prog.Kind() != expr.Bool {
+			return fmt.Errorf("tbl: experiment %q: policy when predicate must be bool, got %s",
+				e.Name, prog.Kind())
+		}
+		if pol.CooldownSec < 0 || math.IsNaN(pol.CooldownSec) {
+			return fmt.Errorf("tbl: experiment %q: policy cooldown cannot be negative", e.Name)
+		}
+		if pol.In {
+			if pol.Min < 1 {
+				return fmt.Errorf("tbl: experiment %q: scale-in policy on %s needs min ≥ 1", e.Name, pol.Tier)
+			}
+			if pol.Max != 0 {
+				return fmt.Errorf("tbl: experiment %q: scale-in policy on %s floors with min, not max",
+					e.Name, pol.Tier)
+			}
+		} else {
+			if pol.Max < 1 {
+				return fmt.Errorf("tbl: experiment %q: scale-out policy on %s needs a max replica bound",
+					e.Name, pol.Tier)
+			}
+			if pol.Max > 64 {
+				return fmt.Errorf("tbl: experiment %q: policy max %d outside 1–64 (it sizes the spare node pool)",
+					e.Name, pol.Max)
+			}
+			if pol.Min != 0 {
+				return fmt.Errorf("tbl: experiment %q: scale-out policy on %s caps with max, not min",
+					e.Name, pol.Tier)
+			}
+			for _, t := range e.AllTopologies() {
+				base := map[string]int{"web": t.Web, "app": t.App, "db": t.DB}[pol.Tier]
+				if pol.Max < base {
+					return fmt.Errorf("tbl: experiment %q: policy max %d below topology %s's %d %s servers",
+						e.Name, pol.Max, t, base, pol.Tier)
+				}
+			}
 		}
 	}
 	switch e.Scaling.Engine {

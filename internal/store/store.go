@@ -113,6 +113,10 @@ type Result struct {
 	// SLOViolatedAt lists the violating windows' start times, in protocol
 	// seconds from the run period's start (time-scale–invariant).
 	SLOViolatedAt []float64 `json:"slo_violated_at,omitempty"`
+	// ScaleEvents lists autoscaling-policy firings during the measured
+	// run, in firing order. Empty for policy-free specs, so their
+	// serializations stay byte-identical to historical output.
+	ScaleEvents []ScaleEvent `json:"scale_events,omitempty"`
 
 	// DeployRetries counts deployment-step retries during run.sh.
 	DeployRetries int `json:"deploy_retries,omitempty"`
@@ -135,6 +139,21 @@ type Result struct {
 	// the replica means (0 for single trials).
 	AvgRTCI95ms    float64 `json:"avg_rt_ci95_ms,omitempty"`
 	ThroughputCI95 float64 `json:"throughput_ci95,omitempty"`
+}
+
+// ScaleEvent records one autoscaling-policy firing: at a window
+// boundary TSec (protocol seconds from run start, time-scale–invariant)
+// the named tier's replica count moved From → To.
+type ScaleEvent struct {
+	TSec float64 `json:"t_sec"`
+	Tier string  `json:"tier"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+}
+
+// String renders the event compactly for reports and logs.
+func (e ScaleEvent) String() string {
+	return fmt.Sprintf("t=%gs %s %d→%d", e.TSec, e.Tier, e.From, e.To)
 }
 
 // ErrorRate reports errors over total measured requests.
