@@ -8,6 +8,7 @@
 //	elba [-timescale F] [-json results.json] [-csv results.csv] SPEC.tbl
 //	elba -suite reduced                 # run a built-in suite
 //	elba -scaleout -spec SPEC.tbl       # run the §V.A scale-out loop
+//	elba -cachedir DIR SPEC.tbl         # memoize trials across runs
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"elba/internal/bottleneck"
+	"elba/internal/campaign"
 	"elba/internal/core"
 	"elba/internal/experiment"
 	"elba/internal/report"
@@ -49,6 +51,7 @@ func run(args []string) error {
 	policies := fs.Bool("policies", false, "render the autoscaling timeline table per experiment with scale events")
 	scaling := fs.String("scaling", "", "override the trial engine: des, fluid, or auto (empty = per-spec scaling clause)")
 	scalingThreshold := fs.Int("scalingthreshold", 0, "population at which -scaling auto switches to the fluid engine")
+	cacheDir := fs.String("cachedir", "", "memoize trials content-addressed under this directory; repeat runs and overlapping sweeps replay cached results")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
@@ -80,8 +83,19 @@ func run(args []string) error {
 		return fmt.Errorf("usage: elba [flags] SPEC.tbl (or -suite paper|reduced)")
 	}
 
+	var cache *campaign.Cache
+	var trialCache experiment.TrialCache
+	if *cacheDir != "" {
+		opened, err := campaign.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cache, trialCache = opened, opened
+	}
+
 	c, err := core.New(core.Options{
 		TimeScale:        *timescale,
+		TrialCache:       trialCache,
 		Parallel:         *parallel,
 		TrialParallel:    *trialParallel,
 		Seed:             *seed,
@@ -127,6 +141,11 @@ func run(args []string) error {
 
 	fmt.Println()
 	fmt.Print(report.Table3Scale(c.ScaleRows(core.FigureOf)))
+
+	if cache != nil {
+		fmt.Printf("\ntrial cache %s: %s (this run: %d hits, %d misses)\n",
+			cache.Dir(), cache.Stats(), c.Runner().CacheHits(), c.Runner().CacheMisses())
+	}
 
 	// Render the availability table for every experiment that ran under a
 	// fault profile (via -faults or its own TBL declaration).

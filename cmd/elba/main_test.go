@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -123,6 +124,40 @@ func TestRunScalingAutoThreshold(t *testing.T) {
 	}
 	if engines[120] != "fluid" {
 		t.Fatalf("u=120 above threshold should be fluid: %v", engines)
+	}
+}
+
+// TestRunCacheDirReplays: a second run against the same -cachedir
+// replays every trial from disk and exports byte-identical results.
+func TestRunCacheDirReplays(t *testing.T) {
+	specPath := writeSpec(t, `experiment "cached-cli" {
+		benchmark rubis; platform emulab; appserver jonas;
+		workload { users 60 to 120 step 60; writeratio 15; }
+	}`)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	out1 := filepath.Join(dir, "r1.json")
+	out2 := filepath.Join(dir, "r2.json")
+	if err := run([]string{"-timescale", "0.05", "-cachedir", cacheDir, "-json", out1, specPath}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(cacheDir, "*.json"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("cache dir holds %d entries, want 2: %v", len(entries), err)
+	}
+	if err := run([]string{"-timescale", "0.05", "-cachedir", cacheDir, "-json", out2, specPath}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cached replay exported different bytes")
 	}
 }
 

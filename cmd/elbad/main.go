@@ -1,0 +1,90 @@
+// Command elbad serves the characterizer as a long-running campaign
+// service: TBL documents are submitted over HTTP, queued, and executed
+// by a deterministic worker pool against a shared content-addressed
+// trial cache, so overlapping sweeps and re-submitted documents reuse
+// prior results byte-for-byte instead of re-simulating.
+//
+// Usage:
+//
+//	elbad [-addr :8080] [-workers 2] [-cachedir DIR] [-timescale F]
+//
+// See docs/ELBAD.md for the API and the cache-keying contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"elba/internal/campaign"
+	"elba/internal/core"
+	"elba/internal/fault"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "elbad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("elbad", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "campaigns executed concurrently")
+	queueDepth := fs.Int("queue", 16, "accepted-but-not-running campaign capacity")
+	cacheDir := fs.String("cachedir", "", "persist the trial cache under this directory (empty = in-memory)")
+	timescale := fs.Float64("timescale", 1.0, "shrink trial periods by this factor (1.0 = paper protocol)")
+	parallel := fs.Int("parallel", 1, "concurrent deployments per sweep")
+	trialParallel := fs.Int("trialparallel", 1, "concurrent trials per deployment's workload grid")
+	seed := fs.Uint64("seed", 0, "root seed mixed into every trial seed (0 = default derivation)")
+	faults := fs.String("faults", "", "inject a built-in fault profile: none, light, or heavy")
+	trialRetries := fs.Int("trialretries", 0, "re-run each failed workload point up to this many extra times")
+	scaling := fs.String("scaling", "", "override the trial engine: des, fluid, or auto")
+	scalingThreshold := fs.Int("scalingthreshold", 0, "population at which -scaling auto switches to the fluid engine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *scaling {
+	case "", "des", "fluid", "auto":
+	default:
+		return fmt.Errorf("-scaling must be des, fluid, or auto (got %q)", *scaling)
+	}
+	// Campaigns build their characterizers lazily; validate the profile
+	// now so a typo fails the daemon at startup, not every submission.
+	if *faults != "" {
+		if _, ok := fault.ProfileByName(*faults); !ok {
+			return fmt.Errorf("unknown fault profile %q (have %v)", *faults, fault.Profiles())
+		}
+	}
+
+	var cache *campaign.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = campaign.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trial cache: %s (%s)\n", *cacheDir, cache.Stats())
+	}
+	svc := campaign.NewService(campaign.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Cache:      cache,
+		Options: core.Options{
+			TimeScale:        *timescale,
+			Parallel:         *parallel,
+			TrialParallel:    *trialParallel,
+			Seed:             *seed,
+			FaultProfile:     *faults,
+			TrialRetries:     *trialRetries,
+			ScalingEngine:    *scaling,
+			ScalingThreshold: *scalingThreshold,
+		},
+	})
+	defer svc.Close()
+
+	fmt.Printf("elbad listening on %s (%d workers)\n", *addr, *workers)
+	return http.ListenAndServe(*addr, newMux(svc))
+}

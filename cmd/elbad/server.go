@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"elba/internal/campaign"
+)
+
+// maxSpecBytes bounds a TBL upload; real specs are a few kilobytes.
+const maxSpecBytes = 1 << 20
+
+// server routes the campaign service over HTTP. All responses are JSON
+// except the result/report renderings, which reuse the CLI's canonical
+// serializations (store JSON, store CSV, report tables) byte-for-byte.
+type server struct {
+	svc *campaign.Service
+}
+
+// newMux wires the API:
+//
+//	POST /campaigns                submit a TBL document (202 + progress)
+//	GET  /campaigns                list campaign progress, oldest first
+//	GET  /campaigns/{id}           one campaign's progress
+//	POST /campaigns/{id}/cancel    cancel (idempotent on terminal campaigns)
+//	GET  /campaigns/{id}/results   result store JSON (409 until done)
+//	GET  /campaigns/{id}/results.csv  result store CSV (409 until done)
+//	GET  /campaigns/{id}/report    rendered tables (409 until done)
+//	GET  /cache/stats              shared trial-cache counters
+//	GET  /healthz                  liveness
+func newMux(svc *campaign.Service) *http.ServeMux {
+	s := &server{svc: svc}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.submit)
+	mux.HandleFunc("GET /campaigns", s.list)
+	mux.HandleFunc("GET /campaigns/{id}", s.get)
+	mux.HandleFunc("POST /campaigns/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.results)
+	mux.HandleFunc("GET /campaigns/{id}/results.csv", s.resultsCSV)
+	mux.HandleFunc("GET /campaigns/{id}/report", s.report)
+	mux.HandleFunc("GET /cache/stats", s.cacheStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// apiError is the JSON error envelope. Parse failures keep the TBL
+// parser's line:column positions verbatim in Error.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(src) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	c, err := s.svc.Submit(string(src))
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Location", "/campaigns/"+c.ID())
+	writeJSON(w, http.StatusAccepted, c.Progress())
+}
+
+func (s *server) list(w http.ResponseWriter, _ *http.Request) {
+	campaigns := s.svc.List()
+	out := make([]campaign.Progress, len(campaigns))
+	for i, c := range campaigns {
+		out[i] = c.Progress()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*campaign.Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.svc.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", id))
+	}
+	return c, ok
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	if c, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, c.Progress())
+	}
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	cancelled, err := s.svc.Cancel(c.ID())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":        c.ID(),
+		"cancelled": cancelled,
+		"status":    c.Status(),
+	})
+}
+
+// finished gates the result endpoints: 409 with the live progress until
+// the campaign is done, so pollers can tell "not yet" from "never".
+func (s *server) finished(w http.ResponseWriter, r *http.Request) (*campaign.Campaign, bool) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return nil, false
+	}
+	if c.Status() != campaign.StatusDone {
+		writeJSON(w, http.StatusConflict, c.Progress())
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *server) results(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.finished(w, r)
+	if !ok {
+		return
+	}
+	st, err := c.Results()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	data, err := st.MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *server) resultsCSV(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.finished(w, r)
+	if !ok {
+		return
+	}
+	st, err := c.Results()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	io.WriteString(w, st.CSV())
+}
+
+func (s *server) report(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.finished(w, r)
+	if !ok {
+		return
+	}
+	out, err := c.Report()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, out)
+}
+
+func (s *server) cacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Cache().Stats())
+}

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"elba/internal/report"
+	"elba/internal/store"
+)
+
+// Report renders the campaign's tables once it is done: the paper's
+// throughput grid per (experiment, write ratio), plus the availability,
+// engine-provenance, SLO-verdict, and autoscaling tables for every
+// experiment whose results carry the corresponding observations — the
+// same conditional rendering the elba CLI performs after a run.
+func (c *Campaign) Report() (string, error) {
+	st, err := c.Results()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, name := range c.names {
+		results := st.Filter(func(r store.Result) bool {
+			return r.Key.Experiment == name
+		})
+		if len(results) == 0 {
+			continue
+		}
+		topologies := st.Topologies(name)
+		loads := distinctInts(results, func(r store.Result) int { return r.Key.Users })
+		for _, wr := range distinctRatios(results) {
+			if b.Len() > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "experiment %q, write ratio %g%%\n", name, wr)
+			b.WriteString(report.Table7Throughput(st, name, wr, topologies, loads))
+		}
+		if anyResult(results, func(r store.Result) bool { return r.FaultProfile != "" }) {
+			b.WriteString("\n")
+			b.WriteString(report.TableAvailability(st, name))
+		}
+		if anyResult(results, func(r store.Result) bool { return r.Engine != "" }) {
+			b.WriteString("\n")
+			b.WriteString(report.TableEngineSummary(st, name))
+		}
+		if anyResult(results, func(r store.Result) bool { return r.SLOAssert != "" }) {
+			b.WriteString("\n")
+			b.WriteString(report.TableSLO(st, name))
+		}
+		if anyResult(results, func(r store.Result) bool { return len(r.ScaleEvents) > 0 }) {
+			b.WriteString("\n")
+			b.WriteString(report.TableScaling(st, name))
+		}
+	}
+	return b.String(), nil
+}
+
+func anyResult(rs []store.Result, pred func(store.Result) bool) bool {
+	for _, r := range rs {
+		if pred(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func distinctInts(rs []store.Result, f func(store.Result) int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range rs {
+		if v := f(r); !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func distinctRatios(rs []store.Result) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, r := range rs {
+		if v := r.Key.WriteRatioPct; !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

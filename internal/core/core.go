@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -54,6 +55,11 @@ type Options struct {
 	// ScalingThreshold is the population at which ScalingEngine "auto"
 	// switches trials to the fluid approximation.
 	ScalingThreshold int
+	// TrialCache, when set, memoizes every workload point by its
+	// content-addressed trial key, so overlapping sweeps — within one
+	// run or across runs sharing the cache — reuse prior results
+	// byte-for-byte instead of re-simulating. Nil disables memoization.
+	TrialCache experiment.TrialCache
 	// Catalog overrides the built-in CIM resource model.
 	Catalog *cim.Catalog
 	// Store receives results; a fresh store is created when nil.
@@ -115,6 +121,7 @@ func New(opts Options) (*Characterizer, error) {
 	runner.TraceExemplars = opts.TraceExemplars
 	runner.ScalingEngine = opts.ScalingEngine
 	runner.ScalingThreshold = opts.ScalingThreshold
+	runner.TrialCache = opts.TrialCache
 	c := &Characterizer{
 		catalog:   cat,
 		runner:    runner,
@@ -145,12 +152,18 @@ func (c *Characterizer) Runner() *experiment.Runner { return c.runner }
 
 // RunTBL parses a TBL document and runs every experiment it declares.
 func (c *Characterizer) RunTBL(src string) error {
+	return c.RunTBLContext(context.Background(), src)
+}
+
+// RunTBLContext is RunTBL under a cancellation context: experiments run
+// in declaration order until the document is done or ctx is cancelled.
+func (c *Characterizer) RunTBLContext(ctx context.Context, src string) error {
 	doc, err := spec.Parse(src)
 	if err != nil {
 		return err
 	}
 	for _, e := range doc.Experiments {
-		if err := c.RunExperiment(e); err != nil {
+		if err := c.RunExperimentContext(ctx, e); err != nil {
 			return err
 		}
 	}
@@ -160,6 +173,13 @@ func (c *Characterizer) RunTBL(src string) error {
 // RunExperiment generates, deploys, and sweeps one experiment, recording
 // both the results and the Table 3 generation accounting.
 func (c *Characterizer) RunExperiment(e *spec.Experiment) error {
+	return c.RunExperimentContext(context.Background(), e)
+}
+
+// RunExperimentContext is RunExperiment under a cancellation context:
+// the sweep stops cleanly between trials when ctx is cancelled, keeping
+// every completed trial in the store.
+func (c *Characterizer) RunExperimentContext(ctx context.Context, e *spec.Experiment) error {
 	deployments, err := c.runner.Generator().Generate(e)
 	if err != nil {
 		return err
@@ -168,7 +188,7 @@ func (c *Characterizer) RunExperiment(e *spec.Experiment) error {
 		c.order = append(c.order, e.Name)
 	}
 	c.scales[e.Name] = mulini.Scale(e, deployments)
-	return c.runner.RunExperiment(e)
+	return c.runner.RunExperimentContext(ctx, e)
 }
 
 // GenerateBundle renders the deployment bundle for one experiment

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,9 +14,13 @@ type KneeSearchResult struct {
 	Users int
 	// ViolationUsers is the smallest tested population violating it.
 	ViolationUsers int
-	// Trials counts the experiments the search spent.
+	// Trials counts the experiments the search actually spent: probes
+	// served from the trial cache (repeated populations within a sweep,
+	// or points computed by an earlier sweep sharing the runner's cache)
+	// cost nothing and are not counted.
 	Trials int
-	// Probes records every (users, avgRTms, completed) measurement.
+	// Probes records every executed (users, avgRTms, completed)
+	// measurement; cache-served probes do not appear.
 	Probes []KneeProbe
 }
 
@@ -36,27 +41,42 @@ type KneeProbe struct {
 // The search brackets [lo, hi]: lo must meet the SLO (it is probed
 // first), and if hi also meets it the search reports hi with no
 // violation. Resolution is the search's stopping granularity in users.
+//
+// Probes run through the runner's trial cache when one is attached, so
+// a re-anchored search (new bracket, same spec) reuses every previously
+// measured population; without a shared cache an ephemeral per-sweep
+// cache still dedupes repeated populations — bisection over a shrinking
+// bracket never revisits a population on its own, but the anchor points
+// sit outside the loop, and a collapsed interval (hi - lo <= resolution)
+// ends the search right back on them. Either way the trial budget per
+// sweep is independent of how the probing strategy lands. Errors are
+// never cached: a failed testbed run may be retried.
 func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 	writeRatioPct, sloMS float64, lo, hi, resolution int) (KneeSearchResult, error) {
 
 	if sloMS <= 0 {
 		return KneeSearchResult{}, fmt.Errorf("experiment: knee search needs a positive SLO")
 	}
+	cache := r.TrialCache
+	if cache == nil {
+		cache = newEphemeralTrialCache()
+	}
 	res := KneeSearchResult{}
 	probe := func(users int) (bool, error) {
-		out, err := r.RunTrialAt(e, topo, users, writeRatioPct)
+		out, err := r.runTrialAt(context.Background(), cache, e, topo, users, writeRatioPct)
 		if err != nil {
 			return false, err
 		}
-		res.Trials++
-		ok := out.Result.Completed && out.Result.AvgRTms <= sloMS
-		res.Probes = append(res.Probes, KneeProbe{
-			Users: users, AvgRTms: out.Result.AvgRTms, Completed: out.Result.Completed,
-		})
-		return ok, nil
+		if !out.FromCache {
+			res.Trials++
+			res.Probes = append(res.Probes, KneeProbe{
+				Users: users, AvgRTms: out.Result.AvgRTms, Completed: out.Result.Completed,
+			})
+		}
+		return out.Result.Completed && out.Result.AvgRTms <= sloMS, nil
 	}
 
-	users, violation, err := kneeBisect(memoProbe(probe), lo, hi, resolution)
+	users, violation, err := kneeBisect(probe, lo, hi, resolution)
 	if err != nil {
 		if errors.Is(err, errKneeLowerBound) {
 			return res, fmt.Errorf("experiment: lower bound %d users already violates the %g ms SLO", lo, sloMS)
@@ -66,28 +86,6 @@ func (r *Runner) KneeSearch(e *spec.Experiment, topo spec.Topology,
 	res.Users = users
 	res.ViolationUsers = violation
 	return res, nil
-}
-
-// memoProbe wraps a probe so repeated populations reuse the recorded
-// verdict instead of re-spending a trial. Bisection over a shrinking
-// bracket never revisits a population on its own, but the anchor points
-// sit outside the loop, and a collapsed interval (hi - lo <= resolution)
-// ends the search right back on them — memoization makes the trial
-// budget per sweep independent of how the probing strategy lands.
-// Errors are not cached: a failed testbed run may be retried.
-func memoProbe(probe func(users int) (bool, error)) func(users int) (bool, error) {
-	seen := map[int]bool{}
-	return func(users int) (bool, error) {
-		if ok, done := seen[users]; done {
-			return ok, nil
-		}
-		ok, err := probe(users)
-		if err != nil {
-			return false, err
-		}
-		seen[users] = ok
-		return ok, nil
-	}
 }
 
 // errKneeLowerBound marks a search whose lower bound already fails the

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"elba/internal/store"
 )
 
 // countingProbe wraps a synthetic acceptance predicate, recording probe
@@ -133,11 +135,31 @@ func TestKneeBisectResolutionClamped(t *testing.T) {
 	}
 }
 
+// cachedProbe adapts a synthetic predicate through a TrialCache exactly
+// the way KneeSearch routes real probes through the runner's trial
+// cache: each population's verdict is computed once and replayed from
+// the cache on repeats, with errors left uncached.
+func cachedProbe(cache TrialCache, probe func(int) (bool, error)) func(int) (bool, error) {
+	return func(users int) (bool, error) {
+		res, _, err := cache.Do(TrialKey{Users: users}, func() (store.Result, error) {
+			ok, err := probe(users)
+			if err != nil {
+				return store.Result{}, err
+			}
+			return store.Result{Completed: ok}, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		return res.Completed, nil
+	}
+}
+
 // TestKneeSearchTrialBudgetPerSweep is the regression for the
 // re-probed-anchor bug: every sweep's trial count is pinned exactly, and
 // no population may be measured twice. A collapsed bisect interval
 // (hi - lo <= resolution) used to land the search back on the anchor; the
-// memoized probe makes that a cache hit instead of a re-run.
+// trial cache makes that a cache hit instead of a re-run.
 func TestKneeSearchTrialBudgetPerSweep(t *testing.T) {
 	const knee = 737
 	sweeps := []struct {
@@ -168,7 +190,7 @@ func TestKneeSearchTrialBudgetPerSweep(t *testing.T) {
 	for _, s := range sweeps {
 		t.Run(s.name, func(t *testing.T) {
 			probe, probed := countingProbe(s.ok)
-			users, violation, err := kneeBisect(memoProbe(probe), s.lo, s.hi, s.res)
+			users, violation, err := kneeBisect(cachedProbe(newEphemeralTrialCache(), probe), s.lo, s.hi, s.res)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -192,12 +214,12 @@ func TestKneeSearchTrialBudgetPerSweep(t *testing.T) {
 	}
 }
 
-// TestMemoProbeDedupes exercises the cache directly: a repeated
-// population must reuse the verdict without touching the underlying
-// probe, and errors must stay retryable.
-func TestMemoProbeDedupes(t *testing.T) {
+// TestEphemeralTrialCacheDedupes exercises the fallback cache directly:
+// a repeated population must reuse the verdict without touching the
+// underlying probe, and errors must stay retryable.
+func TestEphemeralTrialCacheDedupes(t *testing.T) {
 	probe, probed := countingProbe(func(u int) bool { return u <= 10 })
-	m := memoProbe(probe)
+	m := cachedProbe(newEphemeralTrialCache(), probe)
 	for _, u := range []int{5, 20, 5, 20, 5} {
 		ok, err := m(u)
 		if err != nil {
@@ -213,7 +235,7 @@ func TestMemoProbeDedupes(t *testing.T) {
 
 	// Errors are not cached: the same population may be retried.
 	calls := 0
-	flaky := memoProbe(func(int) (bool, error) {
+	flaky := cachedProbe(newEphemeralTrialCache(), func(int) (bool, error) {
 		calls++
 		if calls == 1 {
 			return false, fmt.Errorf("testbed hiccup")

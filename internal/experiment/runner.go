@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -84,6 +85,18 @@ type Runner struct {
 	// ScalingThreshold is the population at which engine "auto" switches
 	// to the fluid approximation. Used only with ScalingEngine "auto".
 	ScalingThreshold int
+	// TrialCache, when set, memoizes every workload point's result by
+	// its full trial coordinates (TrialKey): a repeated point — within a
+	// sweep, across sweeps, or across campaigns sharing the cache — is
+	// served from the cache instead of re-simulated, byte-identically,
+	// because trials are pure functions of the key. Nil (the default)
+	// runs every point, exactly as before the cache existed.
+	TrialCache TrialCache
+
+	// cacheHits and cacheMisses count this runner's workload points
+	// served from / computed into TrialCache.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 
 	// clusterMu serializes cluster mutations (allocate/deploy/release).
 	clusterMu sync.Mutex
@@ -120,6 +133,14 @@ func (r *Runner) engineFor(e *spec.Experiment, users int) string {
 // Store exposes the accumulated results.
 func (r *Runner) Store() *store.Store { return r.results }
 
+// CacheHits reports the workload points this runner served from its
+// trial cache (0 when no cache is attached).
+func (r *Runner) CacheHits() uint64 { return r.cacheHits.Load() }
+
+// CacheMisses reports the workload points this runner computed and
+// stored into its trial cache (0 when no cache is attached).
+func (r *Runner) CacheMisses() uint64 { return r.cacheMisses.Load() }
+
 // Generator exposes the Mulini generator (the scale-out controller and
 // reports use it directly).
 func (r *Runner) Generator() *mulini.Generator { return r.gen }
@@ -140,6 +161,16 @@ func (r *Runner) newCluster(e *spec.Experiment) (*cluster.Cluster, error) {
 // population × write ratio. Results (including failed trials) land in the
 // runner's store. With Parallel > 1, deployments run concurrently.
 func (r *Runner) RunExperiment(e *spec.Experiment) error {
+	return r.RunExperimentContext(context.Background(), e)
+}
+
+// RunExperimentContext is RunExperiment under a cancellation context:
+// when ctx is cancelled, no further trial starts — the in-flight trial
+// (milliseconds of simulation) finishes, its result is discarded along
+// with everything after the cancellation point in grid order, and the
+// sweep returns ctx's error. Results committed before the cancellation
+// stay in the store, so an aborted campaign keeps its completed prefix.
+func (r *Runner) RunExperimentContext(ctx context.Context, e *spec.Experiment) error {
 	deployments, err := r.gen.Generate(e)
 	if err != nil {
 		return err
@@ -171,7 +202,10 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 	}
 	if workers == 1 {
 		for _, d := range deployments {
-			if err := r.runDeployment(e, cl, d); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := r.runDeployment(ctx, e, cl, d); err != nil {
 				return err
 			}
 		}
@@ -194,7 +228,11 @@ func (r *Runner) RunExperiment(e *spec.Experiment) error {
 		go func(w int) {
 			defer wg.Done()
 			for d := range jobs {
-				if err := r.runDeployment(e, cl, d); err != nil {
+				if err := ctx.Err(); err != nil {
+					workerErrs[w] = err
+					return
+				}
+				if err := r.runDeployment(ctx, e, cl, d); err != nil {
 					workerErrs[w] = err
 					return
 				}
@@ -244,17 +282,61 @@ func (r *Runner) armDeployer(dp *deploy.Deployer, prof fault.Profile, e *spec.Ex
 	})
 }
 
-// runPoint runs one workload point, retrying failed trials up to the
-// runner's retry budget with attempt-mixed seeds. It returns the first
-// completed attempt, or the last attempt when the budget runs out.
-func (r *Runner) runPoint(e *spec.Experiment, d *mulini.Deployment, placement *deploy.Placement,
-	cfg TrialConfig, workers int) (*TrialOutcome, error) {
+// runPoint runs one workload point through the trial cache: a key
+// already cached (or in flight on another campaign sharing the cache)
+// is served without simulating, everything else is computed by
+// runPointUncached and cached on success. With no cache attached the
+// uncached path runs directly — byte- and allocation-identical to the
+// pre-cache runner.
+func (r *Runner) runPoint(ctx context.Context, cache TrialCache, e *spec.Experiment,
+	d *mulini.Deployment, placement *deploy.Placement, cfg TrialConfig, workers int) (*TrialOutcome, error) {
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		return r.runPointUncached(ctx, e, d, placement, cfg, workers)
+	}
+	var fresh *TrialOutcome
+	res, _, err := cache.Do(r.trialKey(e, d.Topology.String(), cfg), func() (store.Result, error) {
+		out, err := r.runPointUncached(ctx, e, d, placement, cfg, workers)
+		if err != nil {
+			return store.Result{}, err
+		}
+		if out == nil {
+			return store.Result{}, fmt.Errorf("experiment: trial %s/%s u=%d produced no outcome",
+				e.Name, d.Topology, cfg.Users)
+		}
+		fresh = out
+		return out.Result, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if fresh != nil {
+		// Our computation ran: hand back the full outcome, monitor data
+		// and all, exactly as the uncached path would.
+		r.cacheMisses.Add(1)
+		return fresh, nil
+	}
+	r.cacheHits.Add(1)
+	return &TrialOutcome{Result: res, FromCache: true}, nil
+}
+
+// runPointUncached runs one workload point, retrying failed trials up to
+// the runner's retry budget with attempt-mixed seeds. It returns the
+// first completed attempt, or the last attempt when the budget runs out.
+func (r *Runner) runPointUncached(ctx context.Context, e *spec.Experiment, d *mulini.Deployment,
+	placement *deploy.Placement, cfg TrialConfig, workers int) (*TrialOutcome, error) {
 
 	retries := r.TrialRetries
 	if retries < 0 {
 		retries = 0
 	}
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		acfg := cfg
 		acfg.Attempt = attempt
 		out, err := RunReplicatedTrialParallel(e, d, placement, acfg, e.Repeat, workers)
@@ -277,7 +359,7 @@ func (r *Runner) runPoint(e *spec.Experiment, d *mulini.Deployment, placement *d
 // Cluster mutations are serialized; the trials themselves run without
 // the lock, which is what makes sweep parallelism safe. Each deployment
 // gets its own deployer so fault wiring never races across topologies.
-func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulini.Deployment) error {
+func (r *Runner) runDeployment(ctx context.Context, e *spec.Experiment, cl *cluster.Cluster, d *mulini.Deployment) error {
 	deployer := deploy.NewDeployer(cl)
 	prof := r.profileFor(e)
 	r.armDeployer(deployer, prof, e, d)
@@ -353,7 +435,7 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 
 	if workers <= 1 {
 		for _, pt := range points {
-			out, terr := r.runPoint(e, d, placement, cfgFor(pt), r.TrialParallel)
+			out, terr := r.runPoint(ctx, r.TrialCache, e, d, placement, cfgFor(pt), r.TrialParallel)
 			if terr != nil {
 				return fmt.Errorf("experiment %s/%s u=%d w=%g: %w",
 					e.Name, d.Topology, pt.users, pt.wr, terr)
@@ -399,7 +481,7 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 				if stop.Load() {
 					continue
 				}
-				out, terr := r.runPoint(e, d, placement, cfgFor(points[i]), 1)
+				out, terr := r.runPoint(ctx, r.TrialCache, e, d, placement, cfgFor(points[i]), 1)
 				outs[i], terrs[i] = out, terr
 				if !r.KeepGoingOnFailure && out != nil && !out.Result.Completed {
 					stop.Store(true)
@@ -447,6 +529,14 @@ func (r *Runner) runDeployment(e *spec.Experiment, cl *cluster.Cluster, d *mulin
 // at the given workload point, tears down, and returns the outcome. The
 // scale-out controller and ad-hoc probes use it.
 func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, writeRatioPct float64) (*TrialOutcome, error) {
+	return r.runTrialAt(context.Background(), r.TrialCache, e, topo, users, writeRatioPct)
+}
+
+// runTrialAt is RunTrialAt against an explicit context and cache: the
+// knee search passes its per-sweep fallback cache here when the runner
+// has no shared one.
+func (r *Runner) runTrialAt(ctx context.Context, cache TrialCache, e *spec.Experiment,
+	topo spec.Topology, users int, writeRatioPct float64) (*TrialOutcome, error) {
 	d, err := r.gen.GenerateOne(e, topo)
 	if err != nil {
 		return nil, err
@@ -470,7 +560,7 @@ func (r *Runner) RunTrialAt(e *spec.Experiment, topo spec.Topology, users int, w
 	if prof.Enabled() {
 		profName = prof.Name
 	}
-	out, terr := r.runPoint(e, d, placement, TrialConfig{
+	out, terr := r.runPoint(ctx, cache, e, d, placement, TrialConfig{
 		Users:          users,
 		Engine:         r.engineFor(e, users),
 		WriteRatioPct:  writeRatioPct,

@@ -77,6 +77,10 @@ type TrialOutcome struct {
 	// RunWindow is the [start, end) simulated-time window of the
 	// measurement period, for windowed series queries.
 	RunWindow [2]float64
+	// FromCache marks a result served from the runner's trial cache: no
+	// simulation ran, so Monitor is nil and RunWindow is zero, but
+	// Result is byte-identical to what the trial would have measured.
+	FromCache bool
 }
 
 // memory profile per tier: idle resident set and per-request working set.

@@ -52,9 +52,17 @@ func TestHistogramQuantileAgreesWithSampleWithinBucket(t *testing.T) {
 			s.Observe(x)
 		}
 		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
-			if d := math.Abs(h.Quantile(q) - s.Quantile(q)); d > width {
-				t.Logf("q=%g: histogram %.3f vs sample %.3f (diff %.3f > bucket width %.3f)",
-					q, h.Quantile(q), s.Quantile(q), d, width)
+			// The two estimators define quantiles differently — bucketed
+			// CDF vs interpolation between order statistics — so their
+			// effective ranks can disagree by one sample. Where the data
+			// is locally sparse (the tails), one rank can span several
+			// buckets; allow that rank slack on top of the bucket width.
+			slack := 1 / float64(n)
+			floor := s.Quantile(math.Max(0, q-slack)) - width
+			ceil := s.Quantile(math.Min(1, q+slack)) + width
+			if v := h.Quantile(q); v < floor || v > ceil {
+				t.Logf("q=%g: histogram %.3f outside sample band [%.3f, %.3f]",
+					q, v, floor, ceil)
 				return false
 			}
 		}

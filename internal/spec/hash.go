@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// CanonicalHash is the content address of an experiment: the SHA-256 of
+// its canonical TBL rendering (String), in hex. Two experiments hash
+// equal exactly when their canonical renderings are byte-identical, so
+// the hash survives any round trip through Parse — reformatting,
+// comment changes, and clause reordering in the source text all
+// disappear in the canonical form, while toggling any clause that
+// changes the experiment's meaning changes the hash.
+func (e *Experiment) CanonicalHash() string {
+	sum := sha256.Sum256([]byte(e.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// TrialInvariant returns a copy of e with the swept axes cleared: the
+// topology list and the users / write-ratio ranges, which parameterize
+// *which* trials a sweep runs but never *what any one trial measures*.
+// A trial is a pure function of (TrialInvariant, topology, users, write
+// ratio, seed) — the determinism property the parallel runner pins —
+// so two sweeps whose invariant forms match may share per-trial results
+// at overlapping coordinates, whatever their grids looked like.
+//
+// Everything else stays: the experiment name and seed (both mixed into
+// every derived trial seed), think time, trial protocol, SLOs,
+// monitoring, demands, scaling, policies, faults, and a time-varying
+// users expression (which shapes the trial itself, not the grid).
+func (e *Experiment) TrialInvariant() Experiment {
+	inv := *e
+	inv.Topology = Topology{}
+	inv.Topologies = nil
+	inv.Workload.Users = Range{}
+	inv.Workload.WriteRatioPct = Range{}
+	return inv
+}
+
+// TrialHash is the content address of everything about an experiment
+// that reaches an individual trial: CanonicalHash over the
+// TrialInvariant form. It is the spec component of a memoized trial's
+// cache key — overlapping sweeps and re-anchored knee searches of the
+// same experiment agree on it, while any change that could alter a
+// trial's bytes (name, seed, protocol, demands, faults, ...) does not.
+func (e *Experiment) TrialHash() string {
+	inv := e.TrialInvariant()
+	return inv.CanonicalHash()
+}
