@@ -9,12 +9,14 @@
 //	elba -suite reduced                 # run a built-in suite
 //	elba -scaleout -spec SPEC.tbl       # run the §V.A scale-out loop
 //	elba -cachedir DIR SPEC.tbl         # memoize trials across runs
+//	elba -stream SPEC.tbl               # live knee/SLO detection + folded tables
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"elba/internal/bottleneck"
 	"elba/internal/campaign"
@@ -52,6 +54,8 @@ func run(args []string) error {
 	scaling := fs.String("scaling", "", "override the trial engine: des, fluid, or auto (empty = per-spec scaling clause)")
 	scalingThreshold := fs.Int("scalingthreshold", 0, "population at which -scaling auto switches to the fluid engine")
 	cacheDir := fs.String("cachedir", "", "memoize trials content-addressed under this directory; repeat runs and overlapping sweeps replay cached results")
+	stream := fs.Bool("stream", false, "stream the run: per-trial RT sketches, live knee/SLO detection lines, folded tables at the end")
+	resultLog := fs.String("resultlog", "", "append every committed result to this crash-safe log file (implies -stream)")
 	scaleout := fs.Bool("scaleout", false, "run the observation-driven scale-out loop instead of a sweep")
 	sloMS := fs.Float64("slo", 1000, "scale-out response-time objective in ms")
 	maxUsers := fs.Int("maxusers", 2900, "scale-out workload bound")
@@ -93,6 +97,26 @@ func run(args []string) error {
 		cache, trialCache = opened, opened
 	}
 
+	// Streaming: fold every committed result into running tables online,
+	// print detections (knee, SLO onset, first failure) the moment their
+	// trial lands, and optionally append each result to a crash-safe log.
+	// The fold mutex serializes OnTrial, which may fire concurrently.
+	streaming := *stream || *resultLog != ""
+	var folder *report.Folder
+	var rlog *campaign.ResultLog
+	var foldMu sync.Mutex
+	if streaming {
+		folder = report.NewFolder()
+		if *resultLog != "" {
+			opened, err := campaign.OpenResultLog(*resultLog)
+			if err != nil {
+				return err
+			}
+			rlog = opened
+			defer rlog.Close()
+		}
+	}
+
 	c, err := core.New(core.Options{
 		TimeScale:        *timescale,
 		TrialCache:       trialCache,
@@ -105,6 +129,7 @@ func run(args []string) error {
 		TraceExemplars:   *traceExemplars,
 		ScalingEngine:    *scaling,
 		ScalingThreshold: *scalingThreshold,
+		SketchRT:         streaming,
 		OnTrial: func(r store.Result) {
 			status := "ok"
 			if !r.Completed {
@@ -113,6 +138,18 @@ func run(args []string) error {
 			fmt.Printf("  %-40s rt=%7.1fms x=%7.1f/s app=%5.1f%% db=%5.1f%% %s\n",
 				r.Key.String(), r.AvgRTms, r.Throughput,
 				r.TierCPU["app"], r.TierCPU["db"], status)
+			if streaming {
+				foldMu.Lock()
+				if rlog != nil {
+					if err := rlog.Append(r); err != nil {
+						fmt.Fprintln(os.Stderr, "elba: result log:", err)
+					}
+				}
+				for _, ev := range folder.Ingest(r) {
+					fmt.Printf("  >> %s\n", ev.Message)
+				}
+				foldMu.Unlock()
+			}
 		},
 	})
 	if err != nil {
@@ -141,6 +178,17 @@ func run(args []string) error {
 
 	fmt.Println()
 	fmt.Print(report.Table3Scale(c.ScaleRows(core.FigureOf)))
+
+	if streaming {
+		foldMu.Lock()
+		tables := folder.Tables()
+		foldMu.Unlock()
+		fmt.Println()
+		fmt.Print(tables)
+		if rlog != nil {
+			fmt.Printf("\nresult log %s: %d records\n", rlog.Path(), rlog.Len())
+		}
+	}
 
 	if cache != nil {
 		fmt.Printf("\ntrial cache %s: %s (this run: %d hits, %d misses)\n",

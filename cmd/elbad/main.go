@@ -7,6 +7,7 @@
 // Usage:
 //
 //	elbad [-addr :8080] [-workers 2] [-cachedir DIR] [-timescale F]
+//	      [-stream] [-resultlogdir DIR]
 //
 // See docs/ELBAD.md for the API and the cache-keying contract.
 package main
@@ -43,6 +44,8 @@ func run(args []string) error {
 	trialRetries := fs.Int("trialretries", 0, "re-run each failed workload point up to this many extra times")
 	scaling := fs.String("scaling", "", "override the trial engine: des, fluid, or auto")
 	scalingThreshold := fs.Int("scalingthreshold", 0, "population at which -scaling auto switches to the fluid engine")
+	stream := fs.Bool("stream", false, "stream campaigns: per-trial sketches, live SSE events, running folded tables")
+	resultLogDir := fs.String("resultlogdir", "", "write each campaign's append-only result log under this directory (implies -stream)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,9 +72,11 @@ func run(args []string) error {
 		fmt.Printf("trial cache: %s (%s)\n", *cacheDir, cache.Stats())
 	}
 	svc := campaign.NewService(campaign.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Cache:      cache,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		Cache:        cache,
+		Stream:       *stream,
+		ResultLogDir: *resultLogDir,
 		Options: core.Options{
 			TimeScale:        *timescale,
 			Parallel:         *parallel,

@@ -29,6 +29,8 @@ type server struct {
 //	GET  /campaigns/{id}/results   result store JSON (409 until done)
 //	GET  /campaigns/{id}/results.csv  result store CSV (409 until done)
 //	GET  /campaigns/{id}/report    rendered tables (409 until done)
+//	GET  /campaigns/{id}/stream    live SSE event stream (streaming mode)
+//	GET  /campaigns/{id}/stream/tables  running folded tables (streaming mode)
 //	GET  /cache/stats              shared trial-cache counters
 //	GET  /healthz                  liveness
 func newMux(svc *campaign.Service) *http.ServeMux {
@@ -41,6 +43,8 @@ func newMux(svc *campaign.Service) *http.ServeMux {
 	mux.HandleFunc("GET /campaigns/{id}/results", s.results)
 	mux.HandleFunc("GET /campaigns/{id}/results.csv", s.resultsCSV)
 	mux.HandleFunc("GET /campaigns/{id}/report", s.report)
+	mux.HandleFunc("GET /campaigns/{id}/stream", s.stream)
+	mux.HandleFunc("GET /campaigns/{id}/stream/tables", s.streamTables)
 	mux.HandleFunc("GET /cache/stats", s.cacheStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -191,6 +195,68 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, out)
+}
+
+// stream serves the campaign's live event stream as server-sent events:
+// one `data:` line of StreamEvent JSON per trial commit or detection,
+// ending with the terminal "status" event. On a service without -stream
+// it reports 409; subscribing to a finished campaign yields just the
+// status event. The subscriber queue is bounded (drop-oldest), so a slow
+// consumer sees Seq gaps rather than stalling the campaign.
+func (s *server) stream(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !c.Streaming() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("campaign %s has no event stream (start elbad with -stream)", c.ID()))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	ch, cancel := c.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamTables renders the streaming folder's running tables: a
+// mid-campaign snapshot of what the final report will say, available
+// while trials are still committing.
+func (s *server) streamTables(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if !c.Streaming() {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("campaign %s has no stream state (start elbad with -stream)", c.ID()))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, c.StreamTables())
 }
 
 func (s *server) cacheStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"elba/internal/campaign"
+	"elba/internal/core"
+	"elba/internal/store"
+)
+
+// streamingServer stands up the service with streaming on.
+func streamingServer(t *testing.T, opts core.Options) (*httptest.Server, *campaign.Service) {
+	t.Helper()
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 0.1
+	}
+	svc := campaign.NewService(campaign.Config{
+		Workers: 1,
+		Stream:  true,
+		Options: opts,
+	})
+	ts := httptest.NewServer(newMux(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data campaign.StreamEvent
+}
+
+// readSSE consumes a text/event-stream body until it closes.
+func readSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	defer resp.Body.Close()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		case line == "":
+			if cur.name != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestStreamSSE subscribes to a streaming campaign over HTTP and checks
+// the whole event narrative arrives as well-formed SSE frames: trial
+// events with running quantiles, then the terminal status, then EOF.
+func TestStreamSSE(t *testing.T) {
+	// A gate campaign occupies the single worker until the SSE client is
+	// connected; the campaign under test queues behind it with its stream
+	// armed at submit time, so the subscriber sees every event.
+	gate := make(chan struct{})
+	var gated bool
+	opts := core.Options{OnTrial: func(store.Result) {
+		if !gated {
+			gated = true
+			<-gate
+		}
+	}}
+	ts, _ := streamingServer(t, opts)
+	postSpec(t, ts.URL, `experiment "gate" {
+		benchmark rubis; platform emulab; appserver jonas;
+		topology { web 1; app 1; db 1; }
+		workload { users 100; writeratio 15; }
+	}`)
+	p := postSpec(t, ts.URL, `experiment "sse" {
+		benchmark rubis; platform emulab; appserver jonas;
+		topology { web 1; app 2; db 1; }
+		workload { users 100 to 500 step 100; writeratio 15; }
+	}`)
+	resp, err := http.Get(ts.URL + "/campaigns/" + p.ID + "/stream")
+	close(gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream endpoint: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	events := readSSE(t, resp)
+
+	trials, statuses := 0, 0
+	lastSeq := 0
+	for _, ev := range events {
+		if ev.name != ev.data.Kind {
+			t.Fatalf("SSE event name %q carries kind %q", ev.name, ev.data.Kind)
+		}
+		if ev.data.Seq <= lastSeq {
+			t.Fatalf("Seq not ascending over the wire: %d after %d", ev.data.Seq, lastSeq)
+		}
+		lastSeq = ev.data.Seq
+		switch ev.data.Kind {
+		case "trial":
+			trials++
+			if ev.data.Key == nil || ev.data.P50ms <= 0 {
+				t.Fatalf("malformed trial event: %+v", ev.data)
+			}
+		case "status":
+			statuses++
+			if ev.data.Status != campaign.StatusDone {
+				t.Fatalf("terminal status %s over SSE", ev.data.Status)
+			}
+		}
+	}
+	if trials != 5 || statuses != 1 {
+		t.Fatalf("SSE delivered %d trial and %d status events, want 5 and 1", trials, statuses)
+	}
+
+	// The running tables endpoint renders the folded view.
+	code, body := get(t, ts.URL+"/campaigns/"+p.ID+"/stream/tables")
+	if code != http.StatusOK || !strings.Contains(string(body), "Streamed campaign summary") {
+		t.Fatalf("stream/tables: %d\n%s", code, body)
+	}
+
+	// A late subscriber still gets the terminal status, then EOF.
+	resp2, err := http.Get(ts.URL + "/campaigns/" + p.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := readSSE(t, resp2)
+	if len(late) != 1 || late[0].data.Kind != "status" || late[0].data.Status != campaign.StatusDone {
+		t.Fatalf("late SSE subscriber got %+v, want one done status event", late)
+	}
+}
+
+// TestStreamSSEDisabled: without -stream the endpoints refuse with 409
+// and point at the flag.
+func TestStreamSSEDisabled(t *testing.T) {
+	ts, _ := testServer(t, 1)
+	p := postSpec(t, ts.URL, `experiment "nostream" {
+		benchmark rubis; platform emulab; appserver jonas;
+		topology { web 1; app 1; db 1; }
+		workload { users 100; writeratio 15; }
+	}`)
+	waitDone(t, ts.URL, p.ID)
+	for _, path := range []string{"/stream", "/stream/tables"} {
+		code, body := get(t, ts.URL+"/campaigns/"+p.ID+path)
+		if code != http.StatusConflict {
+			t.Fatalf("%s on a non-streaming daemon: %d\n%s", path, code, body)
+		}
+		if !strings.Contains(string(body), "-stream") {
+			t.Fatalf("%s error does not mention the -stream flag: %s", path, body)
+		}
+	}
+}

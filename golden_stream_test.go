@@ -1,0 +1,55 @@
+package elba
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenUnchangedBySketchOption is the PR's byte-identity gate:
+// running the golden sweep with response-time sketching enabled must
+// change the stored output ONLY by adding the omitempty rt_sketch
+// field — strip the sketches and the bytes equal the pre-sketch golden
+// exactly. Together with TestStoreGoldenJSON (sketching off), this pins
+// both sides: the default path emits the historical bytes untouched,
+// and the streaming path is purely additive.
+func TestGoldenUnchangedBySketchOption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "store.json.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v (run TestStoreGoldenJSON with -update first)", err)
+	}
+
+	c, err := New(Options{TimeScale: 0.05, TrialParallel: 2, SketchRT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunTBL(goldenTBL); err != nil {
+		t.Fatal(err)
+	}
+	withSketch, err := c.Results().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(withSketch) == string(want) {
+		t.Fatal("SketchRT run produced golden bytes — no sketches were recorded")
+	}
+
+	stripped := NewStore()
+	for _, r := range c.Results().All() {
+		if r.RTSketch == nil || r.RTSketch.Count() == 0 {
+			t.Fatalf("result %v missing its sketch under SketchRT", r.Key)
+		}
+		r.RTSketch = nil
+		stripped.Put(r)
+	}
+	got, err := stripped.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("SketchRT changed stored fields beyond rt_sketch.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

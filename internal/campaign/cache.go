@@ -47,6 +47,13 @@ func KeyID(k experiment.TrialKey) string {
 		io.WriteString(h, part)
 		h.Write([]byte{0}) // unambiguous field boundaries
 	}
+	// SketchRT contributes to the address only when set: sketch-free keys
+	// hash exactly as they did before the field existed, so on-disk caches
+	// written by older builds stay valid.
+	if k.SketchRT {
+		io.WriteString(h, "rtsketch")
+		h.Write([]byte{0})
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -45,6 +45,17 @@ type Config struct {
 	QueueDepth int
 	// Cache is the shared trial cache (nil = fresh memory-only cache).
 	Cache *Cache
+	// Stream arms the streaming observability path for every campaign:
+	// trials run with response-time sketches (Options.SketchRT), each
+	// campaign folds its committed results into running tables as they
+	// land, and Subscribe delivers live trial/knee/SLO events. Off by
+	// default — and with it off, campaign output is byte-identical to a
+	// service without the streaming path at all.
+	Stream bool
+	// ResultLogDir, when set (implies Stream), writes each campaign's
+	// committed results to an append-only log at <dir>/<id>.log; replaying
+	// the log through a report.Folder reproduces the live tables exactly.
+	ResultLogDir string
 	// Options is the base characterizer configuration applied to every
 	// campaign. The service manages Store and TrialCache itself — each
 	// campaign gets a private store and the shared cache — and wraps
@@ -58,10 +69,12 @@ type Config struct {
 // execution order and worker count affect only wall-clock time, never
 // the bytes any campaign stores.
 type Service struct {
-	cache *Cache
-	opts  core.Options
-	queue chan *Campaign
-	wg    sync.WaitGroup
+	cache  *Cache
+	opts   core.Options
+	stream bool
+	logDir string
+	queue  chan *Campaign
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	byID   map[string]*Campaign
@@ -85,10 +98,12 @@ func NewService(cfg Config) *Service {
 		cache = NewCache()
 	}
 	s := &Service{
-		cache: cache,
-		opts:  cfg.Options,
-		queue: make(chan *Campaign, depth),
-		byID:  map[string]*Campaign{},
+		cache:  cache,
+		opts:   cfg.Options,
+		stream: cfg.Stream || cfg.ResultLogDir != "",
+		logDir: cfg.ResultLogDir,
+		queue:  make(chan *Campaign, depth),
+		byID:   map[string]*Campaign{},
 	}
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
@@ -137,6 +152,16 @@ func (s *Service) Submit(src string) (*Campaign, error) {
 		cancel:      cancel,
 		status:      StatusQueued,
 		finished:    make(chan struct{}),
+	}
+	// Streaming campaigns get their stream state (and result log file)
+	// at submission, so a subscriber attached before the first trial
+	// commits sees the whole event stream.
+	if s.stream {
+		if err := c.initStream(s.logDir); err != nil {
+			s.mu.Unlock()
+			cancel()
+			return nil, err
+		}
 	}
 	select {
 	case s.queue <- c:
@@ -218,9 +243,13 @@ func (s *Service) execute(c *Campaign) {
 	opts := s.opts
 	opts.Store = store.New()
 	opts.TrialCache = s.cache
+	if s.stream {
+		opts.SketchRT = true
+	}
 	userOnTrial := opts.OnTrial
 	opts.OnTrial = func(r store.Result) {
-		c.noteTrial()
+		done := c.noteTrial()
+		c.streamTrial(r, done, c.totalTrials)
 		if userOnTrial != nil {
 			userOnTrial(r)
 		}
@@ -277,6 +306,7 @@ type Campaign struct {
 	err    error
 	done   int
 	char   *core.Characterizer
+	stream *streamState
 }
 
 // ID returns the service-assigned campaign identifier.
@@ -353,11 +383,13 @@ func (c *Campaign) attach(char *core.Characterizer) {
 	c.mu.Unlock()
 }
 
-// noteTrial counts one committed trial.
-func (c *Campaign) noteTrial() {
+// noteTrial counts one committed trial and returns the running count.
+func (c *Campaign) noteTrial() int {
 	c.mu.Lock()
 	c.done++
+	done := c.done
 	c.mu.Unlock()
+	return done
 }
 
 // finish publishes a terminal status exactly once.
@@ -370,6 +402,7 @@ func (c *Campaign) finish(st Status, err error) {
 	c.status = st
 	c.err = err
 	c.mu.Unlock()
+	c.closeStream(st)
 	c.cancel()
 	close(c.finished)
 }
@@ -385,6 +418,7 @@ func (c *Campaign) cancelNow() bool {
 		c.status = StatusCancelled
 		c.err = context.Canceled
 		c.mu.Unlock()
+		c.closeStream(StatusCancelled)
 		c.cancel()
 		close(c.finished)
 		return true

@@ -55,6 +55,11 @@ type Options struct {
 	// ScalingThreshold is the population at which ScalingEngine "auto"
 	// switches trials to the fluid approximation.
 	ScalingThreshold int
+	// SketchRT attaches a mergeable response-time t-digest to every DES
+	// trial's stored result, the per-trial summary the streaming folder
+	// merges into campaign-level quantiles. Off by default; sketch-free
+	// results serialize byte-identically to historical output.
+	SketchRT bool
 	// TrialCache, when set, memoizes every workload point by its
 	// content-addressed trial key, so overlapping sweeps — within one
 	// run or across runs sharing the cache — reuse prior results
@@ -121,6 +126,7 @@ func New(opts Options) (*Characterizer, error) {
 	runner.TraceExemplars = opts.TraceExemplars
 	runner.ScalingEngine = opts.ScalingEngine
 	runner.ScalingThreshold = opts.ScalingThreshold
+	runner.SketchRT = opts.SketchRT
 	runner.TrialCache = opts.TrialCache
 	c := &Characterizer{
 		catalog:   cat,

@@ -42,6 +42,10 @@ type TrialKey struct {
 	// TraceRate and TraceExemplars shape the persisted trace report.
 	TraceRate      float64
 	TraceExemplars int
+	// SketchRT records whether the trial attaches a response-time sketch
+	// to its stored result; the sketch changes the result bytes, so it
+	// splits the key.
+	SketchRT bool
 }
 
 // TrialCache memoizes trial results by TrialKey. Do returns the cached
@@ -73,6 +77,7 @@ func (r *Runner) trialKey(e *spec.Experiment, topo string, cfg TrialConfig) Tria
 		TrialRetries:   r.TrialRetries,
 		TraceRate:      cfg.TraceRate,
 		TraceExemplars: cfg.TraceExemplars,
+		SketchRT:       cfg.SketchRT,
 	}
 }
 

@@ -95,6 +95,9 @@ func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *dep
 	var last *TrialOutcome
 	var rt, p50, p90, p99, x metrics.Summary
 	var agg store.Result
+	// Replica sketches fold in index order so the aggregate digest is
+	// bit-identical for every worker count, like everything else here.
+	var sketch *metrics.TDigest
 	tierSum := map[string]float64{}
 	hostSum := map[string]float64{}
 	for i := 0; i < repeat; i++ {
@@ -138,7 +141,17 @@ func RunReplicatedTrialParallel(e *spec.Experiment, d *mulini.Deployment, p *dep
 		for host, u := range r.HostCPU {
 			hostSum[host] += u
 		}
+		if r.RTSketch != nil {
+			if sketch == nil {
+				sketch = metrics.NewTDigest(r.RTSketch.Compression())
+			}
+			sketch.Merge(r.RTSketch)
+		}
 	}
+	if sketch != nil {
+		sketch.Compress()
+	}
+	agg.RTSketch = sketch
 	agg.AvgRTms = rt.Mean()
 	agg.P50ms = p50.Mean()
 	agg.P90ms = p90.Mean()

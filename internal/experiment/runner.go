@@ -13,6 +13,7 @@ import (
 	"elba/internal/cluster"
 	"elba/internal/deploy"
 	"elba/internal/fault"
+	"elba/internal/metrics"
 	"elba/internal/mulini"
 	"elba/internal/spec"
 	"elba/internal/store"
@@ -79,6 +80,16 @@ type Runner struct {
 	// TraceExemplars is the number of slowest traces each traced trial
 	// persists in full in its stored result.
 	TraceExemplars int
+	// SketchRT attaches a mergeable response-time t-digest to every DES
+	// trial's stored result (Result.RTSketch). Off by default: sketch-free
+	// results serialize byte-identically to historical output.
+	SketchRT bool
+	// OnRTSample, when set, observes every measured successful response
+	// time of every DES trial (seconds, completion order), tagged with
+	// the trial's grid key. Like OnTrial it may fire from multiple
+	// goroutines when Parallel or TrialParallel exceed 1; workload points
+	// served from the trial cache run no simulation and never fire it.
+	OnRTSample func(k store.Key, rt float64)
 	// ScalingEngine, when non-empty, overrides the experiment's scaling
 	// clause: "des", "fluid", or "auto" (with ScalingThreshold).
 	ScalingEngine string
@@ -241,6 +252,17 @@ func (r *Runner) RunExperimentContext(ctx context.Context, e *spec.Experiment) e
 	}
 	wg.Wait()
 	return errors.Join(workerErrs...)
+}
+
+// rtObserverFor adapts the runner's OnRTSample hook to a per-trial
+// observer carrying the grid key. Nil hook (the default) yields a nil
+// observer, leaving the trial's tap wiring entirely untouched.
+func (r *Runner) rtObserverFor(experiment, topo string, users int, wr float64) metrics.Observer {
+	if r.OnRTSample == nil {
+		return nil
+	}
+	k := store.Key{Experiment: experiment, Topology: topo, Users: users, WriteRatioPct: wr}
+	return metrics.ObserverFunc(func(rt float64) { r.OnRTSample(k, rt) })
 }
 
 // profileFor resolves the fault profile for an experiment: the runner's
@@ -420,6 +442,8 @@ func (r *Runner) runDeployment(ctx context.Context, e *spec.Experiment, cl *clus
 			FaultProfile:   profName,
 			TraceRate:      r.TraceRate,
 			TraceExemplars: r.TraceExemplars,
+			SketchRT:       r.SketchRT,
+			RTObserver:     r.rtObserverFor(e.Name, d.Topology.String(), pt.users, pt.wr),
 			FaultPlan: prof.TrialPlan(r.Seed, e.Name, d.Topology.String(), roles,
 				pt.users, pt.wr, e.Trial.RunSec),
 		}
@@ -569,6 +593,8 @@ func (r *Runner) runTrialAt(ctx context.Context, cache TrialCache, e *spec.Exper
 		FaultProfile:   profName,
 		TraceRate:      r.TraceRate,
 		TraceExemplars: r.TraceExemplars,
+		SketchRT:       r.SketchRT,
+		RTObserver:     r.rtObserverFor(e.Name, d.Topology.String(), users, writeRatioPct),
 		FaultPlan: prof.TrialPlan(r.Seed, e.Name, d.Topology.String(), serverRoles(d),
 			users, writeRatioPct, e.Trial.RunSec),
 	}, workers)

@@ -5,6 +5,7 @@ import (
 
 	"elba/internal/deploy"
 	"elba/internal/fault"
+	"elba/internal/metrics"
 	"elba/internal/monitor"
 	"elba/internal/mulini"
 	"elba/internal/sim"
@@ -67,6 +68,19 @@ type TrialConfig struct {
 	// TraceExemplars is the number of slowest traces persisted in full in
 	// the stored result when tracing is on.
 	TraceExemplars int
+	// SketchRT, when true, folds the measured successful response times
+	// into a mergeable t-digest attached to the stored result
+	// (Result.RTSketch, milliseconds). The sketch taps exactly the stream
+	// the exact percentiles are computed from and never touches the
+	// trial's random streams, so every other field of the result is
+	// byte-identical with the knob off. The fluid engine has no
+	// per-request stream and records no sketch.
+	SketchRT bool
+	// RTObserver, when set, observes every measured successful response
+	// time (seconds, completion order) as the trial runs — the streaming
+	// path's live tap and the differential tests' window into real trial
+	// streams. Ignored by the fluid engine.
+	RTObserver metrics.Observer
 }
 
 // TrialOutcome carries a trial's stored result plus the raw monitoring
@@ -156,6 +170,29 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 		driver.SetTracer(tracer)
 	}
 
+	// Response-time tap: a per-trial sketch (milliseconds, to match the
+	// stored percentile fields) and/or the caller's live observer. The tap
+	// sees exactly the measurement stream in completion order, which is a
+	// pure function of the trial seed — so the sketch is byte-reproducible
+	// for any worker count.
+	var sketch *metrics.TDigest
+	if cfg.SketchRT || cfg.RTObserver != nil {
+		var obs metrics.MultiObserver
+		if cfg.SketchRT {
+			sk := metrics.NewTDigest(metrics.DefaultTDigestCompression)
+			sketch = sk
+			obs = append(obs, metrics.ObserverFunc(func(rt float64) { sk.Observe(rt * 1000) }))
+		}
+		if cfg.RTObserver != nil {
+			obs = append(obs, cfg.RTObserver)
+		}
+		if len(obs) == 1 {
+			driver.SetRTObserver(obs[0])
+		} else {
+			driver.SetRTObserver(obs)
+		}
+	}
+
 	probes, stationOf, hostOf := buildProbes(d, p, nt, model)
 	mon, err := monitor.New(k, monitor.Config{
 		IntervalSec: e.Monitor.IntervalSec * ts,
@@ -224,6 +261,10 @@ func RunTrial(e *spec.Experiment, d *mulini.Deployment, p *deploy.Placement, cfg
 	mon.Stop()
 
 	res := assembleResult(e, d, driver, mon, stationOf, hostOf, cfg, runStart, runEnd)
+	if sketch != nil && sketch.Count() > 0 {
+		sketch.Compress()
+		res.RTSketch = sketch
+	}
 	res.DeployRetries = p.Retries
 	res.DeploySeconds = p.DeploySec
 	if hooks != nil {

@@ -73,9 +73,16 @@ func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
 }
 
 // Quantile estimates the q-th quantile by linear interpolation within the
-// bucket that contains the target rank. It returns 0 for an empty
-// histogram.
+// bucket that contains the target rank.
+//
+// The argument contract is explicit, and TDigest.Quantile mirrors it so
+// the sketch-vs-exact differential tests can assert both types agree:
+// q < 0 is clamped to 0, q > 1 is clamped to 1, NaN q returns NaN, and
+// an empty histogram returns 0 for every q.
 func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if h.total == 0 {
 		return 0
 	}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzTDigestCodec drives the binary decoder with arbitrary bytes: it
+// must never panic, and any input it accepts must re-encode
+// byte-identically and behave like a valid digest (monotone quantiles
+// inside [min, max]). Valid encodings are seeded so the fuzzer starts
+// from the accepting region rather than having to find the magic first.
+func FuzzTDigestCodec(f *testing.F) {
+	seed := func(fill func(d *TDigest)) {
+		d := NewTDigest(100)
+		fill(d)
+		data, err := d.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seed(func(*TDigest) {})
+	seed(func(d *TDigest) { d.Observe(1.5) })
+	seed(func(d *TDigest) {
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < 5000; i++ {
+			d.Observe(rng.ExpFloat64() * 250)
+		}
+	})
+	seed(func(d *TDigest) {
+		d.Add(-math.MaxFloat64, 3)
+		d.Add(0, 1<<40)
+		d.Add(math.MaxFloat64, 7)
+	})
+	f.Add([]byte("TDG1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d TDigest
+		if err := d.UnmarshalBinary(data); err != nil {
+			return // rejected: fine, as long as we didn't panic
+		}
+		out, err := d.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted digest failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode→encode not byte-identical:\n in: %x\nout: %x", data, out)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := d.Quantile(q)
+			if d.Count() == 0 {
+				if v != 0 {
+					t.Fatalf("empty digest Quantile(%g) = %g", q, v)
+				}
+				continue
+			}
+			if math.IsNaN(v) || v < d.Min() || v > d.Max() {
+				t.Fatalf("Quantile(%g) = %g outside [%g, %g]", q, v, d.Min(), d.Max())
+			}
+			if v < prev {
+				t.Fatalf("quantiles not monotone at q=%g: %g < %g", q, v, prev)
+			}
+			prev = v
+		}
+	})
+}

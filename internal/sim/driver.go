@@ -76,6 +76,12 @@ type Driver struct {
 
 	rtSample *metrics.Sample
 	perIx    map[string]*metrics.Summary
+
+	// rtObs, when set, additionally observes every measured successful
+	// response time in completion order — the streaming path's tap for
+	// per-trial quantile sketches and differential tests. Nil costs
+	// nothing and never touches the random streams.
+	rtObs metrics.Observer
 }
 
 // Event tags for the per-user state machine.
@@ -249,6 +255,9 @@ func (d *Driver) complete(it Interaction, issued, rt float64, out Outcome) {
 		d.records = append(d.records, rec)
 		if out == OK && !timedOut {
 			d.rtSample.Observe(rt)
+			if d.rtObs != nil {
+				d.rtObs.Observe(rt)
+			}
 			s := d.perIx[it.Name]
 			if s == nil {
 				// Interaction not declared by the model; register lazily.
@@ -296,6 +305,14 @@ func (d *Driver) Records() []RequestRecord { return d.records }
 // to disable. Tracing never touches the driver's random streams, so a
 // traced run issues the identical request sequence as an untraced one.
 func (d *Driver) SetTracer(c *trace.Collector) { d.tracer = c }
+
+// SetRTObserver attaches an additional observer for measured successful
+// response times (seconds, completion order). The observer sees exactly
+// the stream rtSample records, so a sketch fed through it summarizes the
+// same multiset the exact quantiles are computed from. Call with nil to
+// detach. Observation never consults the driver's random streams, so an
+// observed run issues the identical request sequence as an unobserved one.
+func (d *Driver) SetRTObserver(o metrics.Observer) { d.rtObs = o }
 
 // ResponseTimes returns the sample of successful response times measured.
 func (d *Driver) ResponseTimes() *metrics.Sample { return d.rtSample }

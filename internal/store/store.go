@@ -126,6 +126,15 @@ type Result struct {
 	// (1 = succeeded first try; set only when a retry budget is active).
 	Attempts int `json:"attempts,omitempty"`
 
+	// RTSketch is the trial's mergeable response-time quantile sketch in
+	// milliseconds (a t-digest over the same successful-request stream
+	// that produced P50/P90/P99), recorded only when the runner runs with
+	// sketches enabled (the streaming path). Nil otherwise, so
+	// sketch-free serializations stay byte-identical to historical
+	// output. The campaign folder merges these in canonical commit order
+	// to report campaign-level quantiles in O(sketch) memory.
+	RTSketch *metrics.TDigest `json:"rt_sketch,omitempty"`
+
 	// Trace is the request-level tracing report (per-tier latency
 	// decomposition, critical-path verdict, slowest-trace exemplars) when
 	// the trial ran with tracing enabled. Nil otherwise, so untraced
